@@ -1,0 +1,48 @@
+//! Criterion bench for the per-row ablations (the design choices DESIGN.md
+//! calls out): each Table I parameter scaled alone, plus the paper's
+//! Section V future-work cost-effectiveness ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumem::experiments::ablation::{ablation_study, ablation_table};
+use gpumem::prelude::*;
+use gpumem_bench::{scaled_benchmark, scaled_suite};
+use gpumem_config::single_parameter_ablations;
+use gpumem_sim::MemoryMode;
+
+const SCALE: f64 = 0.12;
+
+fn bench_ablations(c: &mut Criterion) {
+    let base = GpuConfig::gtx480();
+
+    // Print the ranked table once (three memory-bound representatives keep
+    // it quick).
+    let mini: Vec<_> = ["nn", "sc", "lbm"]
+        .iter()
+        .map(|n| scaled_benchmark(n, SCALE).expect("canonical name"))
+        .collect();
+    let study = ablation_study(&base, &mini).expect("ablation study completes");
+    eprintln!("{}", ablation_table(&study));
+
+    // Per-row benches: run one representative workload against each
+    // single-parameter configuration. Ids are `ablation/<row>`.
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let program = scaled_benchmark("sc", SCALE).expect("canonical name");
+    for a in single_parameter_ablations(&base) {
+        group.bench_function(a.name, |b| {
+            b.iter(|| {
+                run_benchmark(&a.config, &program, MemoryMode::Hierarchy).expect("completes")
+            })
+        });
+    }
+
+    // The whole suite-level study.
+    group.bench_function("full_study", |b| {
+        let suite = scaled_suite(SCALE);
+        b.iter(|| ablation_study(&base, &suite).expect("study completes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

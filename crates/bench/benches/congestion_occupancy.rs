@@ -1,0 +1,58 @@
+//! Criterion bench regenerating the paper's **Section III** congestion
+//! numbers (L2 access queues full 46% of usage lifetime, DRAM scheduler
+//! queues 39%) on a scaled-down suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumem::experiments::congestion::congestion_study;
+use gpumem::prelude::*;
+use gpumem_bench::{scaled_benchmark, scaled_suite};
+use gpumem_sim::MemoryMode;
+
+const SCALE: f64 = 0.12;
+
+fn bench_congestion(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+
+    // Print the Section III rows once.
+    let study = congestion_study(&cfg, &scaled_suite(SCALE)).expect("study completes");
+    for r in &study.rows {
+        eprintln!(
+            "congestion {}: L2accq {:.0}% DRAMschq {:.0}% missLat {:.0}",
+            r.benchmark,
+            r.l2_access_full * 100.0,
+            r.dram_sched_full * 100.0,
+            r.avg_l1_miss_latency
+        );
+    }
+    eprintln!(
+        "congestion AVERAGE: L2 {:.0}% (paper 46%), DRAM {:.0}% (paper 39%)",
+        study.avg_l2_access_full * 100.0,
+        study.avg_dram_sched_full * 100.0
+    );
+
+    let mut group = c.benchmark_group("congestion");
+    group.sample_size(10);
+
+    // Per-benchmark baseline run (the measurement behind each row).
+    for name in ["cfd", "nn", "lbm"] {
+        let program = scaled_benchmark(name, SCALE).expect("canonical name");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report =
+                    run_benchmark(&cfg, &program, MemoryMode::Hierarchy).expect("completes");
+                assert!(report.l2_access_queue_full_fraction().is_some());
+                report
+            })
+        });
+    }
+
+    // The whole-suite study as one unit (what `repro congestion` runs).
+    group.bench_function("full_study", |b| {
+        let suite = scaled_suite(SCALE);
+        b.iter(|| congestion_study(&cfg, &suite).expect("study completes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench regenerating the paper's **Fig. 1** (latency-tolerance
+//! profile) on a scaled-down suite.
+//!
+//! Each benchmark id is `fig1/<workload>`; one iteration performs the full
+//! sweep (baseline + fixed-latency points) and asserts the figure's shape
+//! (monotone-decreasing curve). Criterion's time measures the simulator's
+//! throughput on this experiment; the *scientific* output — the curve —
+//! is printed once per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumem::experiments::latency_tolerance::latency_tolerance_profile;
+use gpumem::prelude::*;
+use gpumem_bench::scaled_benchmark;
+
+const SCALE: f64 = 0.12;
+const LATENCIES: [u64; 5] = [0, 200, 400, 600, 800];
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+
+    for name in BENCHMARK_NAMES {
+        let program = scaled_benchmark(name, SCALE).expect("canonical name");
+        // Print the series once, like the paper's figure rows.
+        let profile =
+            latency_tolerance_profile(&cfg, &program, &LATENCIES).expect("sweep completes");
+        let series: Vec<String> = profile
+            .points
+            .iter()
+            .map(|p| format!("{}:{:.2}", p.latency, p.normalized_ipc))
+            .collect();
+        eprintln!("fig1 {name}: {}", series.join(" "));
+
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let profile = latency_tolerance_profile(&cfg, &program, &LATENCIES)
+                    .expect("sweep completes");
+                // Shape assertion: the curve never rises with latency
+                // (beyond noise).
+                for w in profile.points.windows(2) {
+                    assert!(
+                        w[1].normalized_ipc <= w[0].normalized_ipc * 1.05,
+                        "{name}: IPC rose with latency"
+                    );
+                }
+                profile
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Microbenchmarks of the substrate components: how fast the simulator's
+//! building blocks themselves run (simulation throughput, not simulated
+//! performance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gpumem_cache::{L1Dcache, MshrTable, TagArray};
+use gpumem_config::GpuConfig;
+use gpumem_dram::DramChannel;
+use gpumem_noc::{Crossbar, Packet};
+use gpumem_types::{AccessKind, CoreId, Cycle, FetchId, LineAddr, MemFetch, SimRng};
+
+fn fetch(id: u64, line: u64) -> MemFetch {
+    MemFetch::new(FetchId::new(id), AccessKind::Load, LineAddr::new(line), CoreId::new(0))
+}
+
+fn bench_tag_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/tag_array");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("access_mixed", |b| {
+        let mut tags = TagArray::new(64, 8);
+        let mut rng = SimRng::new(1);
+        // Warm.
+        for i in 0..512 {
+            tags.fill((i % 64) as usize, LineAddr::new(i), Cycle::new(i));
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1024u64 {
+                let line = rng.gen_range(1024);
+                let set = (line % 64) as usize;
+                if tags.access(set, LineAddr::new(line), Cycle::new(i)) {
+                    hits += 1;
+                } else {
+                    tags.fill(set, LineAddr::new(line), Cycle::new(i));
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/mshr");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("allocate_complete", |b| {
+        b.iter(|| {
+            let mut mshr: MshrTable<u64> = MshrTable::new(64, 8);
+            for i in 0..256u64 {
+                let line = LineAddr::new(i % 48);
+                if mshr.can_accept(line) {
+                    let _ = mshr.allocate(line, i);
+                }
+                if i.is_multiple_of(3) {
+                    black_box(mshr.complete(LineAddr::new(i % 48)));
+                }
+            }
+            black_box(mshr.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_l1(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+    let mut group = c.benchmark_group("substrate/l1");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("access_fill_loop", |b| {
+        b.iter(|| {
+            let mut l1 = L1Dcache::new(&cfg);
+            let mut now = Cycle::ZERO;
+            for i in 0..512u64 {
+                now += 1;
+                let _ = l1.access(fetch(i, i % 96), now);
+                if let Some(req) = l1.pop_miss() {
+                    black_box(l1.fill(&req, now + 100));
+                }
+                black_box(l1.pop_ready_hits(now).len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+    let mut group = c.benchmark_group("substrate/crossbar");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("tick_loaded_15x6", |b| {
+        b.iter(|| {
+            let mut x = Crossbar::new(15, 6, &cfg.noc);
+            let mut now = Cycle::ZERO;
+            let mut delivered = 0u64;
+            for i in 0..1000u64 {
+                let input = (i % 15) as usize;
+                if x.can_inject(input) {
+                    let f = fetch(i, i);
+                    let pkt = Packet::new(f, (i % 6) as usize, 8, cfg.noc.flit_bytes);
+                    let _ = x.try_inject(input, pkt);
+                }
+                x.tick(now);
+                now = now.next();
+                for o in 0..6 {
+                    while x.pop_ejected(o).is_some() {
+                        delivered += 1;
+                    }
+                }
+            }
+            black_box(delivered)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+    let mut group = c.benchmark_group("substrate/dram");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("tick_loaded", |b| {
+        b.iter(|| {
+            let mut d = DramChannel::new(&cfg, 0);
+            let mut now = Cycle::ZERO;
+            let mut rng = SimRng::new(7);
+            let mut done = 0u64;
+            for i in 0..1000u64 {
+                if d.can_accept(AccessKind::Load) && i % 2 == 0 {
+                    let _ = d.try_push(fetch(i, rng.gen_range(1_000_000)), now);
+                }
+                d.tick(now);
+                now = now.next();
+                while d.pop_return().is_some() {
+                    done += 1;
+                }
+            }
+            black_box(done)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_system_cycles(c: &mut Criterion) {
+    use gpumem_sim::{GpuSimulator, MemoryMode};
+    let cfg = GpuConfig::gtx480();
+    let program = gpumem_bench::scaled_benchmark("sc", 0.08).expect("canonical name");
+    let mut group = c.benchmark_group("substrate/full_system");
+    group.sample_size(10);
+    group.bench_function("sc_small_run", |b| {
+        b.iter(|| {
+            let mut sim = GpuSimulator::new(cfg.clone(), program.clone(), MemoryMode::Hierarchy);
+            let report = sim.run(10_000_000).expect("completes");
+            black_box(report.cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tag_array,
+    bench_mshr,
+    bench_l1,
+    bench_crossbar,
+    bench_dram,
+    bench_full_system_cycles
+);
+criterion_main!(benches);

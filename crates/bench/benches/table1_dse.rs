@@ -1,0 +1,77 @@
+//! Criterion bench regenerating the paper's **Section IV / Table I**
+//! design-space exploration on a scaled-down suite, asserting the paper's
+//! qualitative claims each iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumem::experiments::design_space::design_space_exploration;
+use gpumem::prelude::*;
+use gpumem_bench::{scaled_benchmark, scaled_suite};
+use gpumem_sim::MemoryMode;
+
+const SCALE: f64 = 0.12;
+
+fn bench_dse(c: &mut Criterion) {
+    let cfg = GpuConfig::gtx480();
+
+    // Print the Section IV table once.
+    let study = design_space_exploration(&cfg, &scaled_suite(SCALE), &DesignPoint::SECTION_IV)
+        .expect("exploration completes");
+    for p in &study.points {
+        eprintln!(
+            "dse {}: avg {:.3} geomean {:.3}",
+            p.design.label(),
+            p.average_speedup(),
+            p.geomean_speedup()
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_dse");
+    group.sample_size(10);
+
+    // One design point end to end (benchmark × config run).
+    for dp in [DesignPoint::L2_ONLY, DesignPoint::DRAM_ONLY, DesignPoint::L2_DRAM] {
+        let scaled_cfg = dp.apply(&cfg);
+        let program = scaled_benchmark("sc", SCALE).expect("canonical name");
+        group.bench_function(dp.label(), |b| {
+            b.iter(|| {
+                run_benchmark(&scaled_cfg, &program, MemoryMode::Hierarchy).expect("completes")
+            })
+        });
+    }
+
+    // The full exploration (smaller suite to keep iterations tractable),
+    // asserting the paper's claims each time.
+    let mini: Vec<_> = ["nn", "sc", "lbm"]
+        .iter()
+        .map(|n| scaled_benchmark(n, SCALE).expect("canonical name"))
+        .collect();
+    group.bench_function("full_exploration", |b| {
+        b.iter(|| {
+            let study = design_space_exploration(&cfg, &mini, &DesignPoint::SECTION_IV)
+                .expect("exploration completes");
+            let l2 = study
+                .result_for(DesignPoint::L2_ONLY)
+                .expect("present")
+                .average_speedup();
+            let dram = study
+                .result_for(DesignPoint::DRAM_ONLY)
+                .expect("present")
+                .average_speedup();
+            assert!(l2 > dram, "cache-hierarchy scaling must dominate");
+            assert_eq!(
+                study.synergy_exceeds_sum(
+                    DesignPoint::L2_ONLY,
+                    DesignPoint::DRAM_ONLY,
+                    DesignPoint::L2_DRAM
+                ),
+                Some(true),
+                "synergy must exceed the sum of parts"
+            );
+            study
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Regenerates every table and figure of *Characterizing Memory
+//! Bottlenecks in GPGPU Workloads* (IISWC 2016).
+//!
+//! ```text
+//! repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|all]
+//! ```
+//!
+//! * `fig1`       — Fig. 1 latency-tolerance sweep (17 points × 8 benchmarks)
+//! * `congestion` — Section III queue-occupancy study
+//! * `dse`        — Section IV / Table I design-space exploration
+//! * `table1`     — prints Table I itself (configuration values)
+//! * `latency`    — Section II baseline-vs-ideal latency comparison
+//! * `ablation`   — Section V future work: per-row ablation + cost ranking
+//! * `all`        — everything above (default)
+//!
+//! `--scale F` scales the workloads (grid × F, iterations × √F) for quick
+//! runs; the shipped EXPERIMENTS.md numbers use the full scale (1.0).
+//! `--json DIR` additionally dumps raw results as JSON.
+
+use std::sync::Arc;
+
+use gpumem::experiments::ablation::{ablation_study, ablation_table};
+use gpumem::experiments::congestion::congestion_study;
+use gpumem::experiments::design_space::design_space_exploration;
+use gpumem::experiments::latency_tolerance::{latency_tolerance_profile, FIG1_LATENCIES};
+use gpumem::prelude::*;
+use gpumem::text;
+use gpumem_simt::KernelProgram;
+
+struct Args {
+    scale: f64,
+    json_dir: Option<String>,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut scale = 1.0;
+    let mut json_dir = None;
+    let mut command = "all".to_owned();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
+            }
+            "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "all" => {
+                command = arg;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    Args {
+        scale,
+        json_dir,
+        command,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|all]"
+    );
+    std::process::exit(2)
+}
+
+fn suite(scale: f64) -> Vec<Arc<dyn KernelProgram>> {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        benchmarks()
+    } else {
+        gpumem_bench::scaled_suite(scale)
+    }
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{name}.json");
+        let json = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn run_fig1(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    let mut profiles = Vec::new();
+    for program in suite(scale) {
+        eprintln!("fig1: sweeping {} ...", program.name());
+        let profile = latency_tolerance_profile(cfg, &program, &FIG1_LATENCIES)
+            .expect("fig1 sweep completes");
+        profiles.push(profile);
+    }
+    println!("{}", text::fig1_table(&profiles));
+    dump_json(json, "fig1", &profiles);
+}
+
+fn run_congestion(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    eprintln!("congestion: running suite on baseline ...");
+    let study = congestion_study(cfg, &suite(scale)).expect("congestion study completes");
+    println!("{}", text::congestion_table(&study));
+    dump_json(json, "congestion", &study);
+}
+
+fn run_dse(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    eprintln!("dse: running suite over Section IV design points ...");
+    let study = design_space_exploration(cfg, &suite(scale), &DesignPoint::SECTION_IV)
+        .expect("design-space exploration completes");
+    println!("{}", text::dse_table(&study));
+    dump_json(json, "dse", &study);
+}
+
+fn run_latency(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    eprintln!("latency: measuring loaded baseline latencies ...");
+    let study = congestion_study(cfg, &suite(scale)).expect("baseline runs complete");
+    println!("SECTION II — BASELINE MEMORY LATENCIES vs IDEAL");
+    println!("(ideal: L2 hit 120 cycles, DRAM 220 cycles via L2)");
+    println!("{:>10} {:>24}", "benchmark", "avg L1 miss latency (cyc)");
+    for r in &study.rows {
+        println!("{:>10} {:>24.0}", r.benchmark, r.avg_l1_miss_latency);
+    }
+    let avg = study.rows.iter().map(|r| r.avg_l1_miss_latency).sum::<f64>()
+        / study.rows.len().max(1) as f64;
+    println!("{:>10} {avg:>24.0}", "AVERAGE");
+    dump_json(json, "latency", &study);
+}
+
+fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    eprintln!("ablation: scaling each Table I row individually ...");
+    let study = ablation_study(cfg, &suite(scale)).expect("ablation study completes");
+    println!("{}", ablation_table(&study));
+    dump_json(json, "ablation", &study);
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = GpuConfig::gtx480();
+    if (args.scale - 1.0).abs() > f64::EPSILON {
+        eprintln!("note: workloads scaled by {} — numbers differ from EXPERIMENTS.md", args.scale);
+    }
+    match args.command.as_str() {
+        "table1" => println!("{}", text::table_i()),
+        "fig1" => run_fig1(&cfg, args.scale, &args.json_dir),
+        "congestion" => run_congestion(&cfg, args.scale, &args.json_dir),
+        "dse" => run_dse(&cfg, args.scale, &args.json_dir),
+        "ablation" => run_ablation(&cfg, args.scale, &args.json_dir),
+        "latency" => run_latency(&cfg, args.scale, &args.json_dir),
+        "all" => {
+            println!("{}", text::table_i());
+            run_latency(&cfg, args.scale, &args.json_dir);
+            println!();
+            run_fig1(&cfg, args.scale, &args.json_dir);
+            println!();
+            run_congestion(&cfg, args.scale, &args.json_dir);
+            println!();
+            run_dse(&cfg, args.scale, &args.json_dir);
+            println!();
+            run_ablation(&cfg, args.scale, &args.json_dir);
+        }
+        other => die(&format!("unknown command {other}")),
+    }
+}

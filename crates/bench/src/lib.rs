@@ -1,0 +1,53 @@
+//! Shared helpers for the `gpumem` benchmark harness.
+//!
+//! The `repro` binary ([`crate`]'s `src/bin/repro.rs`) regenerates every
+//! table and figure of the paper; the Criterion benches under `benches/`
+//! measure the same experiments on scaled-down workloads so `cargo bench`
+//! stays tractable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use gpumem_simt::KernelProgram;
+use gpumem_workloads::{params_of, SyntheticKernel};
+
+/// The suite scaled down by `factor` (work only; per-iteration behaviour
+/// unchanged), for fast Criterion benches and smoke tests.
+///
+/// # Panics
+///
+/// Panics if any canonical benchmark name fails to resolve (cannot happen
+/// with the shipped suite).
+pub fn scaled_suite(factor: f64) -> Vec<Arc<dyn KernelProgram>> {
+    gpumem_workloads::BENCHMARK_NAMES
+        .iter()
+        .map(|n| {
+            let p = params_of(n).expect("canonical name").scaled(factor);
+            Arc::new(SyntheticKernel::new(p)) as Arc<dyn KernelProgram>
+        })
+        .collect()
+}
+
+/// One scaled benchmark by name.
+pub fn scaled_benchmark(name: &str, factor: f64) -> Option<Arc<dyn KernelProgram>> {
+    params_of(name)
+        .map(|p| Arc::new(SyntheticKernel::new(p.scaled(factor))) as Arc<dyn KernelProgram>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_suite_has_eight() {
+        assert_eq!(scaled_suite(0.2).len(), 8);
+    }
+
+    #[test]
+    fn scaled_benchmark_resolves() {
+        assert!(scaled_benchmark("lbm", 0.5).is_some());
+        assert!(scaled_benchmark("nope", 0.5).is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! Miss Status Holding Registers with request merging.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use gpumem_types::LineAddr;
+
+/// How an access was recorded in the MSHR table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// A fresh entry was allocated: the caller must send a fill request
+    /// down the hierarchy.
+    NewEntry,
+    /// The access was merged into an existing entry for the same line: no
+    /// new downstream request is needed.
+    Merged,
+}
+
+/// Why an access could not be recorded.
+///
+/// Both variants stall the cache pipeline at the access stage — the
+/// serialization effect the paper identifies as consequence ② of high miss
+/// latencies (entries are held for the full lifetime of an outstanding
+/// miss, so high latency ⇒ prolonged contention of cache resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrError {
+    /// No free entry and the line has no existing entry.
+    Full,
+    /// The line has an entry but its merge capacity is exhausted.
+    MergeCapacity,
+}
+
+impl fmt::Display for MshrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MshrError::Full => write!(f, "mshr table full"),
+            MshrError::MergeCapacity => write!(f, "mshr merge capacity exhausted"),
+        }
+    }
+}
+
+impl Error for MshrError {}
+
+#[derive(Debug, Clone)]
+struct Entry<W> {
+    waiters: Vec<W>,
+}
+
+/// A table of Miss Status Holding Registers.
+///
+/// Each entry tracks one outstanding line fill; accesses to a line that is
+/// already outstanding merge into the entry (up to `max_merge` per entry)
+/// instead of issuing duplicate downstream requests. The waiter payload `W`
+/// is caller-defined — the L1 stores the merged [`gpumem_types::MemFetch`]s
+/// so it can complete all of them on fill.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_cache::{MshrAllocation, MshrTable};
+/// use gpumem_types::LineAddr;
+///
+/// let mut mshr: MshrTable<&str> = MshrTable::new(2, 4);
+/// let line = LineAddr::new(10);
+/// assert_eq!(mshr.allocate(line, "first").unwrap(), MshrAllocation::NewEntry);
+/// assert_eq!(mshr.allocate(line, "second").unwrap(), MshrAllocation::Merged);
+/// assert_eq!(mshr.complete(line), vec!["first", "second"]);
+/// assert!(mshr.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrTable<W> {
+    max_entries: usize,
+    max_merge: usize,
+    entries: BTreeMap<LineAddr, Entry<W>>,
+    peak_occupancy: usize,
+    merges: u64,
+    allocations: u64,
+}
+
+impl<W> MshrTable<W> {
+    /// Creates a table with `max_entries` registers, each merging at most
+    /// `max_merge` accesses (including the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(max_entries: usize, max_merge: usize) -> Self {
+        assert!(max_entries > 0, "mshr entries must be positive");
+        assert!(max_merge > 0, "mshr merge capacity must be positive");
+        MshrTable {
+            max_entries,
+            max_merge,
+            entries: BTreeMap::new(),
+            peak_occupancy: 0,
+            merges: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no miss is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// True if `line` already has an outstanding entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Whether [`allocate`](Self::allocate) would succeed for `line`.
+    pub fn can_accept(&self, line: LineAddr) -> bool {
+        match self.entries.get(&line) {
+            Some(e) => e.waiters.len() < self.max_merge,
+            None => self.entries.len() < self.max_entries,
+        }
+    }
+
+    /// Records an access to `line` carrying `waiter`.
+    ///
+    /// # Errors
+    ///
+    /// [`MshrError::Full`] if a fresh entry is needed but none is free;
+    /// [`MshrError::MergeCapacity`] if the line's entry cannot absorb more
+    /// waiters.
+    pub fn allocate(&mut self, line: LineAddr, waiter: W) -> Result<MshrAllocation, MshrError> {
+        if let Some(entry) = self.entries.get_mut(&line) {
+            if entry.waiters.len() >= self.max_merge {
+                return Err(MshrError::MergeCapacity);
+            }
+            entry.waiters.push(waiter);
+            self.merges += 1;
+            return Ok(MshrAllocation::Merged);
+        }
+        if self.entries.len() >= self.max_entries {
+            return Err(MshrError::Full);
+        }
+        self.entries.insert(
+            line,
+            Entry {
+                waiters: vec![waiter],
+            },
+        );
+        self.allocations += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Ok(MshrAllocation::NewEntry)
+    }
+
+    /// The waiters currently merged on `line`, if it is outstanding.
+    pub fn waiters_of(&self, line: LineAddr) -> Option<&[W]> {
+        self.entries.get(&line).map(|e| e.waiters.as_slice())
+    }
+
+    /// Completes the outstanding miss for `line`, releasing the register
+    /// and returning all merged waiters in arrival order. Returns an empty
+    /// vector if the line had no entry (e.g. a stray fill).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries
+            .remove(&line)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
+    }
+
+    /// Highest simultaneous occupancy seen.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total fresh entries ever allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total merged accesses ever absorbed.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Iterates over the lines currently outstanding.
+    pub fn outstanding_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut m: MshrTable<u32> = MshrTable::new(2, 2);
+        assert_eq!(m.allocate(LineAddr::new(1), 0).unwrap(), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(LineAddr::new(2), 1).unwrap(), MshrAllocation::NewEntry);
+        assert_eq!(m.allocate(LineAddr::new(3), 2), Err(MshrError::Full));
+        // Merging into an existing line still works while full.
+        assert_eq!(m.allocate(LineAddr::new(1), 3).unwrap(), MshrAllocation::Merged);
+        // But merge capacity is bounded.
+        assert_eq!(m.allocate(LineAddr::new(1), 4), Err(MshrError::MergeCapacity));
+        assert!(!m.can_accept(LineAddr::new(1)));
+        assert!(m.can_accept(LineAddr::new(2)));
+        assert!(!m.can_accept(LineAddr::new(9)));
+    }
+
+    #[test]
+    fn complete_returns_waiters_in_order() {
+        let mut m: MshrTable<&str> = MshrTable::new(4, 4);
+        m.allocate(LineAddr::new(5), "a").unwrap();
+        m.allocate(LineAddr::new(5), "b").unwrap();
+        m.allocate(LineAddr::new(5), "c").unwrap();
+        assert_eq!(m.complete(LineAddr::new(5)), vec!["a", "b", "c"]);
+        assert!(m.complete(LineAddr::new(5)).is_empty());
+    }
+
+    #[test]
+    fn statistics_track_activity() {
+        let mut m: MshrTable<u8> = MshrTable::new(4, 4);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        m.allocate(LineAddr::new(2), 0).unwrap();
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        assert_eq!(m.allocations(), 2);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.peak_occupancy(), 2);
+        m.complete(LineAddr::new(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn outstanding_lines_iterates() {
+        let mut m: MshrTable<u8> = MshrTable::new(4, 2);
+        m.allocate(LineAddr::new(9), 0).unwrap();
+        m.allocate(LineAddr::new(4), 0).unwrap();
+        let lines: Vec<_> = m.outstanding_lines().collect();
+        assert_eq!(lines, vec![LineAddr::new(4), LineAddr::new(9)]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(MshrError::Full.to_string().contains("full"));
+        assert!(MshrError::MergeCapacity.to_string().contains("merge"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Extension: per-row ablation and cost-effectiveness ranking.
+//!
+//! The paper's Section V names its future work: *"assess the complexity
+//! and cost of the various design configurations in order to evaluate the
+//! most cost-effective ways to mitigate the bandwidth bottleneck."* This
+//! module implements that study on the simulator: every Table I parameter
+//! is scaled **individually** (everything else at baseline), the suite's
+//! speedup is measured, and the rows are ranked by speedup gain per unit
+//! of estimated hardware cost.
+
+use std::sync::Arc;
+
+use gpumem_config::{single_parameter_ablations, GpuConfig};
+use gpumem_sim::{KernelProgram, MemoryMode, SimError};
+use serde::{Deserialize, Serialize};
+
+use crate::run::{run_benchmarks_parallel, RunSpec};
+
+/// The measured effect of scaling one Table I row in isolation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Table I row name.
+    pub name: String,
+    /// Table I section ("DRAM", "L2 Cache", "L1 Cache").
+    pub section: String,
+    /// Suite-average speedup of the single-row scaling.
+    pub avg_speedup: f64,
+    /// Per-benchmark speedups, in suite order.
+    pub speedups: Vec<(String, f64)>,
+    /// Estimated incremental hardware cost in bits (storage + wires).
+    pub cost_bits: u64,
+}
+
+impl AblationRow {
+    /// Speedup gain (speedup − 1) per kilobit of estimated cost — the
+    /// cost-effectiveness figure of merit.
+    pub fn gain_per_kbit(&self) -> f64 {
+        if self.cost_bits == 0 {
+            return 0.0;
+        }
+        (self.avg_speedup - 1.0) / (self.cost_bits as f64 / 1024.0)
+    }
+}
+
+/// The full per-row ablation study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationStudy {
+    /// One row per Table I parameter, in table order.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationStudy {
+    /// Rows ranked by cost-effectiveness, best first.
+    pub fn ranked_by_cost_effectiveness(&self) -> Vec<&AblationRow> {
+        let mut ranked: Vec<&AblationRow> = self.rows.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.gain_per_kbit()
+                .partial_cmp(&a.gain_per_kbit())
+                .expect("finite figures of merit")
+        });
+        ranked
+    }
+
+    /// The row with the highest raw speedup.
+    pub fn best_single_row(&self) -> Option<&AblationRow> {
+        self.rows.iter().max_by(|a, b| {
+            a.avg_speedup
+                .partial_cmp(&b.avg_speedup)
+                .expect("finite speedups")
+        })
+    }
+}
+
+/// Runs the per-row ablation study over `programs`.
+///
+/// # Errors
+///
+/// Propagates the first watchdog failure from any run.
+pub fn ablation_study(
+    cfg: &GpuConfig,
+    programs: &[Arc<dyn KernelProgram>],
+) -> Result<AblationStudy, SimError> {
+    let ablations = single_parameter_ablations(cfg);
+    let mut specs: Vec<RunSpec> = Vec::with_capacity(programs.len() * (ablations.len() + 1));
+    for p in programs {
+        specs.push(RunSpec {
+            cfg: cfg.clone(),
+            program: Arc::clone(p),
+            mode: MemoryMode::Hierarchy,
+        });
+    }
+    for a in &ablations {
+        for p in programs {
+            specs.push(RunSpec {
+                cfg: a.config.clone(),
+                program: Arc::clone(p),
+                mode: MemoryMode::Hierarchy,
+            });
+        }
+    }
+    let reports = run_benchmarks_parallel(&specs)?;
+
+    let n = programs.len();
+    let baseline: Vec<(String, f64)> = reports[..n]
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.ipc))
+        .collect();
+
+    let rows = ablations
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let chunk = &reports[n * (i + 1)..n * (i + 2)];
+            let speedups: Vec<(String, f64)> = chunk
+                .iter()
+                .zip(&baseline)
+                .map(|(r, (name, base))| {
+                    (name.clone(), if *base > 0.0 { r.ipc / base } else { 1.0 })
+                })
+                .collect();
+            let avg = if speedups.is_empty() {
+                1.0
+            } else {
+                speedups.iter().map(|(_, s)| s).sum::<f64>() / speedups.len() as f64
+            };
+            AblationRow {
+                name: a.name.to_owned(),
+                section: a.section.to_owned(),
+                avg_speedup: avg,
+                speedups,
+                cost_bits: a.cost_bits,
+            }
+        })
+        .collect();
+
+    Ok(AblationStudy { rows })
+}
+
+/// Renders the study as a ranked plain-text table.
+pub fn ablation_table(study: &AblationStudy) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PER-ROW ABLATION — each Table I parameter scaled alone (paper §V future work)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>24} {:>10} {:>10} {:>12} {:>14}",
+        "parameter", "section", "speedup", "cost (kbit)", "gain/kbit"
+    );
+    for row in study.ranked_by_cost_effectiveness() {
+        let _ = writeln!(
+            out,
+            "{:>24} {:>10} {:>10.3} {:>12.1} {:>14.6}",
+            row.name,
+            row.section,
+            row.avg_speedup,
+            row.cost_bits as f64 / 1024.0,
+            row.gain_per_kbit(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, speedup: f64, cost: u64) -> AblationRow {
+        AblationRow {
+            name: name.into(),
+            section: "L2 Cache".into(),
+            avg_speedup: speedup,
+            speedups: vec![("x".into(), speedup)],
+            cost_bits: cost,
+        }
+    }
+
+    #[test]
+    fn ranking_prefers_cheap_gains() {
+        let study = AblationStudy {
+            rows: vec![
+                row("big-expensive", 1.5, 1_000_000),
+                row("small-cheap", 1.1, 1_024),
+            ],
+        };
+        let ranked = study.ranked_by_cost_effectiveness();
+        assert_eq!(ranked[0].name, "small-cheap");
+        assert_eq!(study.best_single_row().unwrap().name, "big-expensive");
+    }
+
+    #[test]
+    fn gain_per_kbit_math() {
+        let r = row("r", 1.5, 2048);
+        assert!((r.gain_per_kbit() - 0.25).abs() < 1e-12);
+        assert_eq!(row("z", 1.5, 0).gain_per_kbit(), 0.0);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let study = AblationStudy {
+            rows: vec![row("a", 1.2, 100), row("b", 0.9, 200)],
+        };
+        let t = ablation_table(&study);
+        assert!(t.contains(" a "));
+        assert!(t.contains(" b "));
+        assert!(t.contains("gain/kbit"));
+    }
+}

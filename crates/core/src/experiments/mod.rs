@@ -1,0 +1,13 @@
+//! The paper's three experiments.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`latency_tolerance`] | Fig. 1 — normalized IPC vs fixed L1 miss latency |
+//! | [`congestion`] | Section III — queue-full fractions (46% / 39%) |
+//! | [`design_space`] | Table I / Section IV — ~4× scaling speedups |
+//! | [`ablation`] | Section V future work — per-row ablation & cost-effectiveness |
+
+pub mod ablation;
+pub mod congestion;
+pub mod design_space;
+pub mod latency_tolerance;

@@ -1,0 +1,148 @@
+//! Helpers for running benchmarks, serially or across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use gpumem_config::GpuConfig;
+use gpumem_sim::{GpuSimulator, MemoryMode, SimError, SimReport};
+use gpumem_simt::KernelProgram;
+
+/// Default watchdog budget: generous enough for every suite benchmark at
+/// every design point, small enough to catch deadlocks quickly.
+pub const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
+
+/// One simulation to run: a configuration, a kernel and a memory mode.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// GPU configuration (baseline or a Table I design point).
+    pub cfg: GpuConfig,
+    /// The kernel to execute.
+    pub program: Arc<dyn KernelProgram>,
+    /// Memory backend.
+    pub mode: MemoryMode,
+}
+
+impl std::fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("program", &self.program.name())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs one benchmark to completion.
+///
+/// # Errors
+///
+/// Propagates [`SimError::Watchdog`] if the run does not complete within
+/// [`DEFAULT_MAX_CYCLES`].
+pub fn run_benchmark(
+    cfg: &GpuConfig,
+    program: &Arc<dyn KernelProgram>,
+    mode: MemoryMode,
+) -> Result<SimReport, SimError> {
+    GpuSimulator::new(cfg.clone(), Arc::clone(program), mode).run(DEFAULT_MAX_CYCLES)
+}
+
+/// Runs a batch of independent simulations across all available cores,
+/// preserving input order in the output.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered (remaining runs still
+/// execute; their results are discarded).
+pub fn run_benchmarks_parallel(specs: &[RunSpec]) -> Result<Vec<SimReport>, SimError> {
+    let n = specs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<SimReport, SimError>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = &specs[i];
+                let out = GpuSimulator::new(
+                    spec.cfg.clone(),
+                    Arc::clone(&spec.program),
+                    spec.mode,
+                )
+                .run(DEFAULT_MAX_CYCLES);
+                *slots[i].lock().expect("no poisoning: sim code does not panic") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoning: sim code does not panic")
+                .expect("every index was written by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_workloads::{SyntheticKernel, WorkloadParams};
+
+    fn tiny_spec(mode: MemoryMode) -> RunSpec {
+        let mut cfg = GpuConfig::tiny();
+        cfg.num_cores = 2;
+        let mut p = WorkloadParams::template("t");
+        p.ctas = 4;
+        p.warps_per_cta = 2;
+        p.iters = 4;
+        p.working_set_lines = 2_000;
+        RunSpec {
+            cfg,
+            program: Arc::new(SyntheticKernel::new(p)),
+            mode,
+        }
+    }
+
+    #[test]
+    fn serial_run_completes() {
+        let spec = tiny_spec(MemoryMode::Hierarchy);
+        let report = run_benchmark(&spec.cfg, &spec.program, spec.mode).unwrap();
+        assert!(report.instructions > 0);
+        assert_eq!(report.benchmark, "t");
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let specs = vec![
+            tiny_spec(MemoryMode::Hierarchy),
+            tiny_spec(MemoryMode::FixedLatency(100)),
+            tiny_spec(MemoryMode::FixedLatency(0)),
+        ];
+        let par = run_benchmarks_parallel(&specs).unwrap();
+        assert_eq!(par.len(), 3);
+        for (spec, report) in specs.iter().zip(&par) {
+            let serial = run_benchmark(&spec.cfg, &spec.program, spec.mode).unwrap();
+            assert_eq!(serial.cycles, report.cycles, "determinism across threads");
+            assert_eq!(serial.instructions, report.instructions);
+        }
+        assert_eq!(par[1].mode, "fixed-latency(100)");
+        assert_eq!(par[2].mode, "fixed-latency(0)");
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        assert!(run_benchmarks_parallel(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Plain-text rendering of experiment results in the paper's shape, used
+//! by the `repro` harness and the examples.
+
+use std::fmt::Write as _;
+
+use gpumem_config::TABLE_I;
+
+use crate::experiments::congestion::CongestionStudy;
+use crate::experiments::design_space::DseStudy;
+use crate::experiments::latency_tolerance::LatencyProfile;
+
+/// Renders the paper's Table I verbatim.
+pub fn table_i() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I — CONSOLIDATED DESIGN SPACE TO MITIGATE CONGESTION");
+    let mut section = "";
+    for row in TABLE_I {
+        if row.section != section {
+            section = row.section;
+            let _ = writeln!(out, "  ({})", section);
+        }
+        let _ = writeln!(
+            out,
+            "    {:<24} {}  {:<18} -> {}",
+            row.name, row.param_type, row.baseline, row.scaled
+        );
+    }
+    out
+}
+
+/// Renders Fig. 1 as a latency × benchmark matrix of normalized IPC,
+/// followed by the per-benchmark observations (intercept, plateau, peak).
+pub fn fig1_table(profiles: &[LatencyProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG. 1 — PERFORMANCE VARIATION WITH INCREASING L1 MISS LATENCY"
+    );
+    let _ = writeln!(out, "(normalized IPC; baseline architecture = 1.0)");
+    let _ = write!(out, "{:>8}", "latency");
+    for p in profiles {
+        let _ = write!(out, " {:>9}", p.benchmark);
+    }
+    let _ = writeln!(out);
+
+    if let Some(first) = profiles.first() {
+        for (i, pt) in first.points.iter().enumerate() {
+            let _ = write!(out, "{:>8}", pt.latency);
+            for p in profiles {
+                let v = p.points.get(i).map_or(f64::NAN, |x| x.normalized_ipc);
+                let _ = write!(out, " {v:>9.3}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14} {:>12} {:>22}",
+        "benchmark", "peak(norm)", "plateau_end", "intercept", "baseline_miss_latency"
+    );
+    for p in profiles {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12.2} {:>14} {:>12} {:>22.0}",
+            p.benchmark,
+            p.peak_normalized_ipc(),
+            p.plateau_end,
+            p.baseline_intercept
+                .map_or("beyond".to_owned(), |x| format!("{x:.0}")),
+            p.baseline_avg_miss_latency,
+        );
+    }
+    out
+}
+
+/// Renders the Section III congestion study.
+pub fn congestion_table(study: &CongestionStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SECTION III — MEASURING THE BANDWIDTH BOTTLENECK");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>14} {:>15} {:>16} {:>12}",
+        "benchmark", "ipc", "L2accq_full%", "DRAMschq_full%", "avg_missLat(cyc)", "memStall%"
+    );
+    for r in &study.rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8.2} {:>14.1} {:>15.1} {:>16.0} {:>12.1}",
+            r.benchmark,
+            r.ipc,
+            r.l2_access_full * 100.0,
+            r.dram_sched_full * 100.0,
+            r.avg_l1_miss_latency,
+            r.memory_stall_fraction * 100.0,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "AVERAGE: L2 access queues full {:.0}% of usage lifetime (paper: 46%)",
+        study.avg_l2_access_full * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "AVERAGE: DRAM scheduler queues full {:.0}% of usage lifetime (paper: 39%)",
+        study.avg_dram_sched_full * 100.0
+    );
+    out
+}
+
+/// Renders the Section IV design-space exploration.
+pub fn dse_table(study: &DseStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SECTION IV — DESIGN-SPACE EXPLORATION (speedup vs baseline)");
+    let _ = write!(out, "{:>10}", "benchmark");
+    for p in &study.points {
+        let _ = write!(out, " {:>9}", p.design.label());
+    }
+    let _ = writeln!(out);
+
+    for (i, (name, _)) in study.baseline_ipc.iter().enumerate() {
+        let _ = write!(out, "{name:>10}");
+        for p in &study.points {
+            let v = p.speedups.get(i).map_or(f64::NAN, |(_, s)| *s);
+            let _ = write!(out, " {v:>9.3}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = write!(out, "{:>10}", "AVERAGE");
+    for p in &study.points {
+        let _ = write!(out, " {:>9.3}", p.average_speedup());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:>10}", "GEOMEAN");
+    for p in &study.points {
+        let _ = write!(out, " {:>9.3}", p.geomean_speedup());
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Paper averages: L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%, L2+DRAM +76%");
+    for p in &study.points {
+        let degraded = p.degraded();
+        if !degraded.is_empty() {
+            let _ = writeln!(
+                out,
+                "NOTE: {} scaling degrades: {}",
+                p.design.label(),
+                degraded.join(", ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::congestion::CongestionRow;
+    use crate::experiments::design_space::DsePointResult;
+    use crate::experiments::latency_tolerance::LatencyPoint;
+    use gpumem_config::DesignPoint;
+
+    #[test]
+    fn table_i_mentions_every_row() {
+        let t = table_i();
+        for row in TABLE_I {
+            assert!(t.contains(row.name), "missing {}", row.name);
+        }
+    }
+
+    #[test]
+    fn fig1_table_renders_matrix() {
+        let profile = LatencyProfile {
+            benchmark: "nn".into(),
+            baseline_ipc: 2.0,
+            baseline_avg_miss_latency: 350.0,
+            points: vec![
+                LatencyPoint { latency: 0, ipc: 8.0, normalized_ipc: 4.0 },
+                LatencyPoint { latency: 400, ipc: 2.0, normalized_ipc: 1.0 },
+            ],
+            plateau_end: 0,
+            baseline_intercept: Some(400.0),
+        };
+        let t = fig1_table(&[profile]);
+        assert!(t.contains("nn"));
+        assert!(t.contains("4.000"));
+        assert!(t.contains("400"));
+    }
+
+    #[test]
+    fn congestion_table_includes_averages() {
+        let study = CongestionStudy {
+            rows: vec![CongestionRow {
+                benchmark: "sc".into(),
+                ipc: 3.0,
+                l2_access_full: 0.46,
+                dram_sched_full: 0.39,
+                l2_access_mean_occupancy: 4.0,
+                dram_sched_mean_occupancy: 8.0,
+                avg_l1_miss_latency: 420.0,
+                memory_stall_fraction: 0.6,
+            }],
+            avg_l2_access_full: 0.46,
+            avg_dram_sched_full: 0.39,
+        };
+        let t = congestion_table(&study);
+        assert!(t.contains("46%"));
+        assert!(t.contains("39%"));
+        assert!(t.contains("sc"));
+    }
+
+    #[test]
+    fn dse_table_flags_degradation() {
+        let study = DseStudy {
+            baseline_ipc: vec![("nw".into(), 1.0)],
+            points: vec![DsePointResult {
+                design: DesignPoint::L1_ONLY,
+                speedups: vec![("nw".into(), 0.93)],
+            }],
+        };
+        let t = dse_table(&study);
+        assert!(t.contains("degrades: nw"));
+        assert!(t.contains("0.930"));
+    }
+}

@@ -1,0 +1,668 @@
+//! DRAM substrate for the `gpumem` simulator.
+//!
+//! One [`DramChannel`] serves each memory partition: a GDDR5-like device
+//! with a bounded memory-controller scheduler queue (Table I baseline **16
+//! entries**, the queue whose occupancy the paper reports as *full for 39%
+//! of its usage lifetime*), FR-FCFS scheduling (row hits first, then
+//! oldest), per-bank row state (Table I baseline **16 banks/chip**), and a
+//! shared data bus whose burst time scales inversely with the bus width
+//! (Table I baseline **32 bits**, i.e. 16 cycles per 128-byte line at
+//! double data rate).
+//!
+//! # Example
+//!
+//! ```
+//! use gpumem_config::GpuConfig;
+//! use gpumem_dram::DramChannel;
+//! use gpumem_types::{AccessKind, CoreId, Cycle, FetchId, LineAddr, MemFetch};
+//!
+//! let cfg = GpuConfig::gtx480();
+//! let mut dram = DramChannel::new(&cfg, 0);
+//! let fetch = MemFetch::new(FetchId::new(1), AccessKind::Load, LineAddr::new(6), CoreId::new(0));
+//! dram.try_push(fetch, Cycle::ZERO).unwrap();
+//!
+//! let mut now = Cycle::ZERO;
+//! let mut done = None;
+//! for _ in 0..500 {
+//!     dram.tick(now);
+//!     dram.observe();
+//!     if let Some(f) = dram.pop_return() {
+//!         done = Some((f, now));
+//!         break;
+//!     }
+//!     now = now.next();
+//! }
+//! let (_, finished_at) = done.expect("read must complete");
+//! assert!(finished_at.raw() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gpumem_config::{DramConfig, GpuConfig};
+use gpumem_types::{AccessKind, Cycle, LatencyStats, MemFetch, QueueStats, SimQueue};
+
+/// Activity counters for one [`DramChannel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DramStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced (stores and L2 writebacks).
+    pub writes: u64,
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests to a closed (precharged) bank.
+    pub row_closed: u64,
+    /// Requests that required closing another row first.
+    pub row_conflicts: u64,
+    /// Cycles the data bus was transferring.
+    pub bus_busy_cycles: u64,
+}
+
+impl DramStats {
+    /// Accumulates another channel's counters (for per-GPU aggregation).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+
+    /// Row-hit rate over all serviced requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+    /// When the currently open row was activated (for tRAS).
+    activated_at: Cycle,
+}
+
+#[derive(Debug)]
+struct Pending {
+    fetch: MemFetch,
+    /// Earliest cycle the scheduler may consider this request (models the
+    /// fixed controller front-end latency).
+    ready_at: Cycle,
+}
+
+#[derive(Debug)]
+struct Completion {
+    done_at: Cycle,
+    seq: u64,
+    fetch: MemFetch,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.done_at == other.done_at && self.seq == other.seq
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (done_at, seq).
+        (other.done_at, other.seq).cmp(&(self.done_at, self.seq))
+    }
+}
+
+/// A single DRAM channel with FR-FCFS scheduling.
+///
+/// Requests enter through [`try_push`](DramChannel::try_push) (bounded by
+/// the Table I scheduler queue — rejection back-pressures the L2 miss
+/// queue), are scheduled one per cycle onto per-bank row state machines,
+/// contend for the shared data bus, and — for reads — leave through the
+/// bounded return queue towards the L2 fill path.
+#[derive(Debug)]
+pub struct DramChannel {
+    line_bytes: u64,
+    /// Address-interleave stride: the number of partitions, so that the
+    /// per-channel line index is `line / stride`.
+    stride: u64,
+    lines_per_row: u64,
+    cfg: DramConfig,
+    burst_cycles: u64,
+    queue: SimQueue<Pending>,
+    write_queue: SimQueue<Pending>,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    completions: BinaryHeap<Completion>,
+    next_seq: u64,
+    return_queue: SimQueue<MemFetch>,
+    stats: DramStats,
+    service_latency: LatencyStats,
+    in_flight: usize,
+}
+
+impl DramChannel {
+    /// Builds a channel for one partition of the configured GPU.
+    /// `partition_index` is informational; the address interleave stride is
+    /// `cfg.num_partitions`.
+    pub fn new(cfg: &GpuConfig, partition_index: usize) -> Self {
+        let _ = partition_index;
+        Self::from_parts(cfg.dram.clone(), cfg.line_bytes, cfg.num_partitions as u64)
+    }
+
+    /// Builds a channel from raw parts (used by tests that want exotic
+    /// geometries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent
+    /// (`row_bytes < line_bytes` or zero stride).
+    pub fn from_parts(cfg: DramConfig, line_bytes: u64, stride: u64) -> Self {
+        assert!(stride > 0, "partition stride must be positive");
+        assert!(cfg.row_bytes >= line_bytes, "row must hold at least one line");
+        let lines_per_row = cfg.row_bytes / line_bytes;
+        let burst_cycles = line_bytes.div_ceil(cfg.bus_bytes * cfg.data_rate);
+        DramChannel {
+            line_bytes,
+            stride,
+            lines_per_row,
+            burst_cycles,
+            queue: SimQueue::new("dram_sched", cfg.scheduler_queue),
+            write_queue: SimQueue::new("dram_write", cfg.scheduler_queue),
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: Cycle::ZERO,
+                    activated_at: Cycle::ZERO,
+                };
+                cfg.banks
+            ],
+            bus_free_at: Cycle::ZERO,
+            completions: BinaryHeap::new(),
+            next_seq: 0,
+            return_queue: SimQueue::new("dram_return", cfg.return_queue),
+            stats: DramStats::default(),
+            service_latency: LatencyStats::new(),
+            in_flight: 0,
+            cfg,
+        }
+    }
+
+    /// Cycles one line transfer occupies the data bus.
+    pub fn burst_cycles(&self) -> u64 {
+        self.burst_cycles
+    }
+
+    /// (bank, row) decoding of a line address for this channel.
+    pub fn map_address(&self, line: gpumem_types::LineAddr) -> (usize, u64) {
+        let local_line = line.index() / self.stride;
+        let global_row = local_line / self.lines_per_row;
+        let bank = (global_row % self.banks.len() as u64) as usize;
+        let row = global_row / self.banks.len() as u64;
+        (bank, row)
+    }
+
+    /// True if the appropriate scheduler queue (reads and writes are
+    /// queued separately, as in real GDDR5 controllers) can accept a
+    /// request of `kind` this cycle.
+    pub fn can_accept(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Load => !self.queue.is_full(),
+            AccessKind::Store => !self.write_queue.is_full(),
+        }
+    }
+
+    /// Enqueues a request into the read or write scheduler queue.
+    ///
+    /// # Errors
+    ///
+    /// Hands the fetch back if that queue is full (the caller — the L2
+    /// miss/writeback path — must retry, propagating backpressure upward).
+    #[allow(clippy::result_large_err)] // the rejected fetch is handed back by design
+    pub fn try_push(&mut self, mut fetch: MemFetch, now: Cycle) -> Result<(), MemFetch> {
+        if fetch.timeline.dram_arrive.is_none() {
+            fetch.timeline.dram_arrive = Some(now);
+        }
+        let ready_at = now + self.cfg.controller_latency;
+        let queue = match fetch.kind {
+            AccessKind::Load => &mut self.queue,
+            AccessKind::Store => &mut self.write_queue,
+        };
+        match queue.push(Pending { fetch, ready_at }) {
+            Ok(()) => {
+                self.in_flight += 1;
+                Ok(())
+            }
+            Err(e) => Err(e.into_inner().fetch),
+        }
+    }
+
+    /// Advances the channel one cycle: lands finished requests into the
+    /// return queue and schedules at most one new request FR-FCFS.
+    pub fn tick(&mut self, now: Cycle) {
+        // Land completions whose data transfer finished.
+        while let Some(head) = self.completions.peek() {
+            if head.done_at > now {
+                break;
+            }
+            let is_read = head.fetch.kind.is_load();
+            if is_read && self.return_queue.is_full() {
+                // Hold the completion; backpressure from the L2 fill path.
+                break;
+            }
+            let c = self.completions.pop().expect("peeked");
+            if let Some(arr) = c.fetch.timeline.dram_arrive {
+                self.service_latency.record(now.since(arr));
+            }
+            if is_read {
+                self.return_queue.push(c.fetch).expect("fullness checked");
+            } else {
+                self.in_flight -= 1;
+            }
+        }
+
+        // Do not race reads ahead of a clogged return path: if completed
+        // reads are already waiting for return-queue space, scheduling
+        // more reads would model infinite buffering. Holding off lets the
+        // scheduler queue fill up instead — the backpressure the paper
+        // measures at this queue. Writes never enter the return path, so
+        // they remain schedulable and keep the writeback pipeline live
+        // (deadlock freedom).
+        let return_blocked = self.return_queue.is_full()
+            && self
+                .completions
+                .peek()
+                .is_some_and(|c| c.done_at <= now && c.fetch.kind.is_load());
+        // Read-first scheduling with two exceptions: a blocked return path
+        // or a write queue running hot (drain threshold at 3/4).
+        let prefer_writes =
+            return_blocked || self.write_queue.len() * 4 >= self.write_queue.capacity() * 3;
+        if prefer_writes {
+            if !self.schedule_one(now, AccessKind::Store) && !return_blocked {
+                self.schedule_one(now, AccessKind::Load);
+            }
+        } else if !self.schedule_one(now, AccessKind::Load) {
+            self.schedule_one(now, AccessKind::Store);
+        }
+    }
+
+    /// FR-FCFS over the selected queue: prefer the oldest request hitting
+    /// an open row on an idle bank; otherwise the oldest request whose
+    /// bank is idle. Returns whether a request was scheduled.
+    fn schedule_one(&mut self, now: Cycle, kind: AccessKind) -> bool {
+        // Borrow-friendly precomputation of bank readiness.
+        let pick_row_hit = |p: &Pending, banks: &[Bank], stride, lpr| {
+            if p.ready_at > now {
+                return false;
+            }
+            let local = p.fetch.line.index() / stride;
+            let grow = local / lpr;
+            let bank = (grow % banks.len() as u64) as usize;
+            let row = grow / banks.len() as u64;
+            banks[bank].busy_until <= now && banks[bank].open_row == Some(row)
+        };
+        let pick_ready = |p: &Pending, banks: &[Bank], stride, lpr| {
+            if p.ready_at > now {
+                return false;
+            }
+            let local = p.fetch.line.index() / stride;
+            let grow = local / lpr;
+            let bank = (grow % banks.len() as u64) as usize;
+            banks[bank].busy_until <= now
+        };
+
+        let (stride, lpr) = (self.stride, self.lines_per_row);
+        let banks_snapshot: Vec<Bank> = self.banks.clone();
+        let queue = match kind {
+            AccessKind::Load => &mut self.queue,
+            AccessKind::Store => &mut self.write_queue,
+        };
+        let chosen = queue
+            .remove_first_where(|p| pick_row_hit(p, &banks_snapshot, stride, lpr))
+            .or_else(|| {
+                queue.remove_first_where(|p| pick_ready(p, &banks_snapshot, stride, lpr))
+            });
+        let Some(pending) = chosen else {
+            return false;
+        };
+
+        let (bank_idx, row) = self.map_address(pending.fetch.line);
+        let t = &self.cfg;
+        let bank = &mut self.banks[bank_idx];
+
+        // When can the column command's data phase begin?
+        let col_ready = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                now.raw()
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                // Precharge (respecting tRAS), activate, then column.
+                let pre_at = now.raw().max(bank.activated_at.raw() + t.t_ras);
+                let act_at = pre_at + t.t_rp;
+                bank.open_row = Some(row);
+                bank.activated_at = Cycle::new(act_at);
+                act_at + t.t_rcd
+            }
+            None => {
+                self.stats.row_closed += 1;
+                bank.open_row = Some(row);
+                bank.activated_at = now;
+                now.raw() + t.t_rcd
+            }
+        };
+
+        let data_start = (col_ready + t.t_cl).max(self.bus_free_at.raw());
+        let done_at = Cycle::new(data_start + self.burst_cycles);
+        self.bus_free_at = done_at;
+        self.stats.bus_busy_cycles += self.burst_cycles;
+        bank.busy_until = done_at;
+
+        match pending.fetch.kind {
+            AccessKind::Load => self.stats.reads += 1,
+            AccessKind::Store => self.stats.writes += 1,
+        }
+        self.completions.push(Completion {
+            done_at,
+            seq: self.next_seq,
+            fetch: pending.fetch,
+        });
+        self.next_seq += 1;
+        true
+    }
+
+    /// Takes one completed read from the return queue (the L2 fill path
+    /// drains this).
+    pub fn pop_return(&mut self) -> Option<MemFetch> {
+        let f = self.return_queue.pop();
+        if f.is_some() {
+            self.in_flight -= 1;
+        }
+        f
+    }
+
+    /// Peeks the next completed read.
+    pub fn peek_return(&self) -> Option<&MemFetch> {
+        self.return_queue.front()
+    }
+
+    /// Per-cycle statistics bookkeeping; call once per cycle.
+    pub fn observe(&mut self) {
+        self.queue.observe();
+        self.write_queue.observe();
+        self.return_queue.observe();
+    }
+
+    /// True if nothing is queued, scheduled or awaiting return.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+            && self.write_queue.is_empty()
+            && self.completions.is_empty()
+            && self.return_queue.is_empty()
+    }
+
+    /// Requests inside the channel (queued + in service + awaiting
+    /// return).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Write-scheduler-queue occupancy statistics.
+    pub fn write_queue_stats(&self) -> &QueueStats {
+        self.write_queue.stats()
+    }
+
+    /// Read-scheduler-queue occupancy statistics — the paper's "DRAM
+    /// access queues full for 39% of usage lifetime" metric reads
+    /// [`QueueStats::full_fraction_of_usage`] of this.
+    pub fn scheduler_queue_stats(&self) -> &QueueStats {
+        self.queue.stats()
+    }
+
+    /// Return-queue occupancy statistics.
+    pub fn return_queue_stats(&self) -> &QueueStats {
+        self.return_queue.stats()
+    }
+
+    /// Distribution of request service latencies (arrival to data
+    /// completion).
+    pub fn service_latency(&self) -> &LatencyStats {
+        &self.service_latency
+    }
+
+    /// The line size the channel was built with.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+}
+
+/// Drains every request currently inside `channel`, advancing time until
+/// idle; returns completed reads in completion order. Test helper shared by
+/// this crate's tests and the integration suite.
+pub fn drain_channel(channel: &mut DramChannel, mut now: Cycle, max_cycles: u64) -> (Vec<MemFetch>, Cycle) {
+    let mut out = Vec::new();
+    let mut waited = 0;
+    while !channel.is_idle() && waited < max_cycles {
+        channel.tick(now);
+        channel.observe();
+        while let Some(f) = channel.pop_return() {
+            out.push(f);
+        }
+        now = now.next();
+        waited += 1;
+    }
+    (out, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_types::{CoreId, FetchId, LineAddr};
+
+    fn channel() -> DramChannel {
+        DramChannel::new(&GpuConfig::gtx480(), 0)
+    }
+
+    fn load(id: u64, line: u64) -> MemFetch {
+        MemFetch::new(FetchId::new(id), AccessKind::Load, LineAddr::new(line), CoreId::new(0))
+    }
+
+    fn store(id: u64, line: u64) -> MemFetch {
+        MemFetch::new(FetchId::new(id), AccessKind::Store, LineAddr::new(line), CoreId::new(0))
+    }
+
+    #[test]
+    fn single_read_latency_is_controller_plus_rcd_cl_burst() {
+        let mut d = channel();
+        d.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        let (done, _) = drain_channel(&mut d, Cycle::ZERO, 10_000);
+        assert_eq!(done.len(), 1);
+        let cfg = GpuConfig::gtx480();
+        let expected = cfg.dram.controller_latency
+            + cfg.dram.t_rcd
+            + cfg.dram.t_cl
+            + cfg.dram_burst_cycles();
+        let measured = d.service_latency().mean();
+        // Completion lands within a couple of cycles of the analytic value
+        // (tick-granularity rounding).
+        assert!(
+            (measured - expected as f64).abs() <= 3.0,
+            "measured {measured}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let cfg = GpuConfig::gtx480();
+        let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
+        let stride = cfg.num_partitions as u64;
+
+        // Same row: line indices differing only within a row.
+        let mut d = channel();
+        d.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        d.try_push(load(2, stride), Cycle::ZERO).unwrap(); // next local line, same row
+        let (_, t_same) = drain_channel(&mut d, Cycle::ZERO, 10_000);
+        assert_eq!(d.stats().row_hits, 1);
+
+        // Same bank, different rows → conflict.
+        let mut d2 = channel();
+        let banks = cfg.dram.banks as u64;
+        d2.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        let conflict_line = stride * lines_per_row * banks; // same bank, row+1
+        let (b1, r1) = d2.map_address(LineAddr::new(0));
+        let (b2, r2) = d2.map_address(LineAddr::new(conflict_line));
+        assert_eq!(b1, b2);
+        assert_ne!(r1, r2);
+        d2.try_push(load(2, conflict_line), Cycle::ZERO).unwrap();
+        let (_, t_conflict) = drain_channel(&mut d2, Cycle::ZERO, 10_000);
+        assert_eq!(d2.stats().row_conflicts, 1);
+
+        assert!(t_conflict > t_same, "conflict {t_conflict} vs same-row {t_same}");
+    }
+
+    #[test]
+    fn scheduler_queue_backpressures() {
+        let mut d = channel();
+        let cap = GpuConfig::gtx480().dram.scheduler_queue;
+        for i in 0..cap as u64 {
+            d.try_push(load(i, i * 1000), Cycle::ZERO).unwrap();
+        }
+        assert!(!d.can_accept(AccessKind::Load));
+        // The write queue is independent and still open.
+        assert!(d.can_accept(AccessKind::Store));
+        let back = d.try_push(load(99, 0), Cycle::ZERO).unwrap_err();
+        assert_eq!(back.id, FetchId::new(99));
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_open_row() {
+        let cfg = GpuConfig::gtx480();
+        let stride = cfg.num_partitions as u64;
+        let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
+        let banks = cfg.dram.banks as u64;
+        let mut d = channel();
+
+        // Open row 0 of bank 0 with a first request, then enqueue a
+        // conflicting request (same bank, different row) *before* a row-hit
+        // request. FR-FCFS should service the row hit first.
+        d.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        let conflict = stride * lines_per_row * banks;
+        d.try_push(load(2, conflict), Cycle::ZERO).unwrap();
+        d.try_push(load(3, stride), Cycle::ZERO).unwrap(); // row hit after #1
+        let (done, _) = drain_channel(&mut d, Cycle::ZERO, 20_000);
+        let order: Vec<u64> = done.iter().map(|f| f.id.raw()).collect();
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 3, "row hit must bypass older conflict");
+        assert_eq!(order[2], 2);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn writes_complete_without_return() {
+        let mut d = channel();
+        d.try_push(store(1, 0), Cycle::ZERO).unwrap();
+        let (done, _) = drain_channel(&mut d, Cycle::ZERO, 10_000);
+        assert!(done.is_empty());
+        assert!(d.is_idle());
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn wider_bus_shortens_bursts() {
+        let base = GpuConfig::gtx480();
+        let mut wide_cfg = base.clone();
+        wide_cfg.dram.bus_bytes = 8;
+        let narrow = DramChannel::new(&base, 0);
+        let wide = DramChannel::new(&wide_cfg, 0);
+        assert_eq!(narrow.burst_cycles(), 4); // 128 B / (4 B × 8)
+        assert_eq!(wide.burst_cycles(), 2); // 128 B / (8 B × 8)
+    }
+
+    #[test]
+    fn bus_serializes_parallel_banks() {
+        // Two requests to different banks can overlap activation but must
+        // share the bus: total time >= 2 bursts.
+        let cfg = GpuConfig::gtx480();
+        let stride = cfg.num_partitions as u64;
+        let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
+        let mut d = channel();
+        d.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        d.try_push(load(2, stride * lines_per_row), Cycle::ZERO).unwrap(); // bank 1
+        let (b1, _) = d.map_address(LineAddr::new(0));
+        let (b2, _) = d.map_address(LineAddr::new(stride * lines_per_row));
+        assert_ne!(b1, b2);
+        let (done, end) = drain_channel(&mut d, Cycle::ZERO, 20_000);
+        assert_eq!(done.len(), 2);
+        let single_req_time = {
+            let mut s = channel();
+            s.try_push(load(1, 0), Cycle::ZERO).unwrap();
+            drain_channel(&mut s, Cycle::ZERO, 20_000).1
+        };
+        // Overlapped, but by at least one extra burst.
+        assert!(end.raw() >= single_req_time.raw() + d.burst_cycles() - 2);
+        assert!(end.raw() < single_req_time.raw() * 2);
+    }
+
+    #[test]
+    fn return_queue_backpressure_holds_completions() {
+        let mut cfg = GpuConfig::gtx480();
+        cfg.dram.return_queue = 1;
+        let mut d = DramChannel::new(&cfg, 0);
+        d.try_push(load(1, 0), Cycle::ZERO).unwrap();
+        d.try_push(load(2, 6), Cycle::ZERO).unwrap();
+        // Run without draining returns.
+        let mut now = Cycle::ZERO;
+        for _ in 0..2000 {
+            d.tick(now);
+            d.observe();
+            now = now.next();
+        }
+        // Only one return fits; the other completion is held.
+        assert!(d.peek_return().is_some());
+        assert!(!d.is_idle());
+        // Drain and finish.
+        let mut got = 0;
+        for _ in 0..2000 {
+            d.tick(now);
+            while d.pop_return().is_some() {
+                got += 1;
+            }
+            now = now.next();
+        }
+        assert_eq!(got, 2);
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn address_mapping_covers_all_banks() {
+        let d = channel();
+        let cfg = GpuConfig::gtx480();
+        let stride = cfg.num_partitions as u64;
+        let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
+        let mut seen = vec![false; cfg.dram.banks];
+        for r in 0..cfg.dram.banks as u64 {
+            let (bank, _) = d.map_address(LineAddr::new(r * lines_per_row * stride));
+            seen[bank] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "row stride must touch every bank");
+    }
+}

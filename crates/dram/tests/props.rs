@@ -1,0 +1,124 @@
+//! Property tests for the DRAM channel.
+
+use gpumem_config::GpuConfig;
+use gpumem_dram::DramChannel;
+use gpumem_types::{AccessKind, CoreId, Cycle, FetchId, LineAddr, MemFetch};
+use proptest::prelude::*;
+
+fn fetch(id: u64, line: u64, store: bool) -> MemFetch {
+    MemFetch::new(
+        FetchId::new(id),
+        if store { AccessKind::Store } else { AccessKind::Load },
+        LineAddr::new(line),
+        CoreId::new(0),
+    )
+}
+
+proptest! {
+    /// Liveness + conservation: every accepted read returns exactly once,
+    /// every accepted write completes, and the channel drains to idle.
+    #[test]
+    fn every_request_completes(
+        requests in prop::collection::vec((0u64..100_000, any::<bool>()), 1..120),
+    ) {
+        let cfg = GpuConfig::gtx480();
+        let mut d = DramChannel::new(&cfg, 0);
+        let mut now = Cycle::ZERO;
+        let mut accepted_reads = 0u64;
+        let mut returned = Vec::new();
+        let mut pending: std::collections::VecDeque<(u64, u64, bool)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, s))| (i as u64, l, s))
+            .collect();
+
+        for _ in 0..2_000_000u64 {
+            if let Some(&(id, line, store)) = pending.front() {
+                if d.try_push(fetch(id, line, store), now).is_ok() {
+                    if !store {
+                        accepted_reads += 1;
+                    }
+                    pending.pop_front();
+                }
+            }
+            d.tick(now);
+            d.observe();
+            while let Some(f) = d.pop_return() {
+                returned.push(f.id.raw());
+            }
+            now = now.next();
+            if pending.is_empty() && d.is_idle() {
+                break;
+            }
+        }
+        prop_assert!(d.is_idle(), "channel failed to drain");
+        prop_assert_eq!(returned.len() as u64, accepted_reads);
+        // Exactly-once: ids unique.
+        let mut unique = returned.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), returned.len());
+        // Stats consistency.
+        prop_assert_eq!(d.stats().reads, accepted_reads);
+        let total = d.stats().row_hits + d.stats().row_closed + d.stats().row_conflicts;
+        prop_assert_eq!(total, d.stats().reads + d.stats().writes);
+    }
+
+    /// The (bank, row) mapping is a function of the line address alone and
+    /// bank indices stay in range.
+    #[test]
+    fn address_mapping_is_stable_and_bounded(lines in prop::collection::vec(0u64..10_000_000, 1..100)) {
+        let cfg = GpuConfig::gtx480();
+        let d = DramChannel::new(&cfg, 0);
+        for &l in &lines {
+            let (b1, r1) = d.map_address(LineAddr::new(l));
+            let (b2, r2) = d.map_address(LineAddr::new(l));
+            prop_assert_eq!((b1, r1), (b2, r2));
+            prop_assert!(b1 < cfg.dram.banks);
+        }
+    }
+
+    /// Lines within one DRAM row map to the same (bank, row); service of a
+    /// row-local burst is faster than a scatter of the same size.
+    #[test]
+    fn row_locality_speeds_service(seed in 0u64..1000) {
+        let cfg = GpuConfig::gtx480();
+        let stride = cfg.num_partitions as u64;
+        let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
+
+        let run = |lines: Vec<u64>| {
+            let mut d = DramChannel::new(&cfg, 0);
+            let mut now = Cycle::ZERO;
+            for (i, l) in lines.iter().enumerate() {
+                // Scheduler queue is 16 deep; batches fit.
+                d.try_push(fetch(i as u64, *l, false), now).unwrap();
+            }
+            let mut got = 0;
+            while got < lines.len() {
+                d.tick(now);
+                while d.pop_return().is_some() {
+                    got += 1;
+                }
+                now = now.next();
+                if now.raw() > 1_000_000 {
+                    panic!("no progress");
+                }
+            }
+            now
+        };
+
+        // 8 accesses within one row vs 8 to distinct, conflicting rows of
+        // the same bank.
+        let local: Vec<u64> = (0..8).map(|i| i * stride).collect();
+        let banks = cfg.dram.banks as u64;
+        let scatter: Vec<u64> = (0..8)
+            .map(|i| (seed + 1) * stride * lines_per_row * banks * (i + 1))
+            .collect();
+        let t_local = run(local);
+        let t_scatter = run(scatter);
+        prop_assert!(
+            t_local <= t_scatter,
+            "row-local {t_local} should not be slower than scatter {t_scatter}"
+        );
+    }
+}

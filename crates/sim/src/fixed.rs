@@ -1,0 +1,168 @@
+//! The fixed-latency memory backend used by the paper's Section II
+//! latency-tolerance experiment (Fig. 1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gpumem_types::{Cycle, MemFetch};
+
+#[derive(Debug)]
+struct Due {
+    at: Cycle,
+    seq: u64,
+    fetch: MemFetch,
+}
+
+impl PartialEq for Due {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Due {}
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An idealized memory system that answers every L1 miss after a fixed,
+/// configurable latency with unlimited bandwidth.
+///
+/// This is the paper's Fig. 1 instrument: *"we modify the memory hierarchy
+/// of the baseline architecture so that all the L1 miss responses are
+/// returned with a fixed and pre-determined latency"*. Loads come back
+/// exactly `latency` cycles after submission; stores are absorbed
+/// immediately (write-through traffic needs no response).
+///
+/// # Example
+///
+/// ```
+/// use gpumem_sim::FixedLatencyMemory;
+/// use gpumem_types::{AccessKind, CoreId, Cycle, FetchId, LineAddr, MemFetch};
+///
+/// let mut mem = FixedLatencyMemory::new(100);
+/// let f = MemFetch::new(FetchId::new(1), AccessKind::Load, LineAddr::new(2), CoreId::new(0));
+/// mem.submit(f, Cycle::new(10));
+/// assert!(mem.pop_due(Cycle::new(109)).is_none());
+/// assert!(mem.pop_due(Cycle::new(110)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct FixedLatencyMemory {
+    latency: u64,
+    pending: BinaryHeap<Due>,
+    next_seq: u64,
+    loads_served: u64,
+    stores_sunk: u64,
+}
+
+impl FixedLatencyMemory {
+    /// Creates a responder with the given fixed latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        FixedLatencyMemory {
+            latency,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+            loads_served: 0,
+            stores_sunk: 0,
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Accepts a request (never refuses — bandwidth is unlimited). Stores
+    /// are sunk; loads are scheduled to return at `now + latency`.
+    pub fn submit(&mut self, fetch: MemFetch, now: Cycle) {
+        if fetch.kind.is_load() {
+            self.pending.push(Due {
+                at: now + self.latency,
+                seq: self.next_seq,
+                fetch,
+            });
+            self.next_seq += 1;
+        } else {
+            self.stores_sunk += 1;
+        }
+    }
+
+    /// Takes the next response due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<MemFetch> {
+        if self.pending.peek().is_some_and(|d| d.at <= now) {
+            self.loads_served += 1;
+            Some(self.pending.pop().expect("peeked").fetch)
+        } else {
+            None
+        }
+    }
+
+    /// True once every submitted load has been returned.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Loads answered so far.
+    pub fn loads_served(&self) -> u64 {
+        self.loads_served
+    }
+
+    /// Stores absorbed so far.
+    pub fn stores_sunk(&self) -> u64 {
+        self.stores_sunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_types::{AccessKind, CoreId, FetchId, LineAddr};
+
+    fn fetch(id: u64, kind: AccessKind) -> MemFetch {
+        MemFetch::new(FetchId::new(id), kind, LineAddr::new(id), CoreId::new(0))
+    }
+
+    #[test]
+    fn loads_return_after_exact_latency() {
+        let mut m = FixedLatencyMemory::new(50);
+        m.submit(fetch(1, AccessKind::Load), Cycle::new(100));
+        assert!(m.pop_due(Cycle::new(149)).is_none());
+        let f = m.pop_due(Cycle::new(150)).unwrap();
+        assert_eq!(f.id, FetchId::new(1));
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn zero_latency_returns_same_cycle() {
+        let mut m = FixedLatencyMemory::new(0);
+        m.submit(fetch(1, AccessKind::Load), Cycle::new(7));
+        assert!(m.pop_due(Cycle::new(7)).is_some());
+    }
+
+    #[test]
+    fn stores_are_sunk() {
+        let mut m = FixedLatencyMemory::new(10);
+        m.submit(fetch(1, AccessKind::Store), Cycle::ZERO);
+        assert!(m.is_idle());
+        assert_eq!(m.stores_sunk(), 1);
+        assert_eq!(m.loads_served(), 0);
+    }
+
+    #[test]
+    fn responses_preserve_submission_order_at_equal_latency() {
+        let mut m = FixedLatencyMemory::new(5);
+        for i in 0..4 {
+            m.submit(fetch(i, AccessKind::Load), Cycle::ZERO);
+        }
+        let mut ids = Vec::new();
+        while let Some(f) = m.pop_due(Cycle::new(5)) {
+            ids.push(f.id.raw());
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The full-system simulator: cores + interconnect + partitions, or cores +
+//! fixed-latency memory.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use gpumem_config::GpuConfig;
+use gpumem_noc::{Crossbar, Packet};
+use gpumem_simt::{KernelProgram, SimtCore};
+use gpumem_types::{CtaId, Cycle, PartitionId};
+
+use crate::report::build_report;
+use crate::{FixedLatencyMemory, MemoryPartition, SimReport};
+
+/// Which memory system sits below the L1s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// The full timing hierarchy: crossbars, banked L2 partitions, DRAM.
+    Hierarchy,
+    /// Every L1 miss returns after exactly this many cycles, with
+    /// unlimited bandwidth (the paper's Fig. 1 instrument).
+    FixedLatency(u64),
+}
+
+impl fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryMode::Hierarchy => write!(f, "hierarchy"),
+            MemoryMode::FixedLatency(n) => write!(f, "fixed-latency({n})"),
+        }
+    }
+}
+
+/// A failed simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The watchdog expired before the kernel finished — either the budget
+    /// was too small or the configuration deadlocked.
+    Watchdog {
+        /// Cycle at which the run was aborted.
+        cycle: u64,
+        /// Instructions retired so far (progress indicator).
+        instructions: u64,
+        /// Human-readable liveness diagnosis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog {
+                cycle,
+                instructions,
+                detail,
+            } => write!(
+                f,
+                "watchdog expired at cycle {cycle} ({instructions} instructions retired): {detail}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+enum Backend {
+    Hierarchy {
+        req_xbar: Crossbar,
+        resp_xbar: Crossbar,
+        partitions: Vec<MemoryPartition>,
+    },
+    Fixed(FixedLatencyMemory),
+}
+
+/// The assembled GPU.
+///
+/// Construct with a validated [`GpuConfig`], a [`KernelProgram`] and a
+/// [`MemoryMode`], then call [`run`](GpuSimulator::run).
+pub struct GpuSimulator {
+    cfg: GpuConfig,
+    program: Arc<dyn KernelProgram>,
+    mode: MemoryMode,
+    cores: Vec<SimtCore>,
+    backend: Backend,
+    now: Cycle,
+    next_cta: u32,
+    responses_delivered: u64,
+    requests_injected: u64,
+}
+
+impl fmt::Debug for GpuSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GpuSimulator")
+            .field("program", &self.program.name())
+            .field("mode", &self.mode)
+            .field("now", &self.now)
+            .field("next_cta", &self.next_cta)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GpuSimulator {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GpuConfig::validate`], or if the program's
+    /// CTAs need more warps than a core has slots.
+    pub fn new(cfg: GpuConfig, program: Arc<dyn KernelProgram>, mode: MemoryMode) -> Self {
+        cfg.validate().expect("invalid GpuConfig");
+        assert!(
+            program.warps_per_cta() as usize <= cfg.core.max_warps,
+            "a CTA of {} warps cannot fit {} warp slots",
+            program.warps_per_cta(),
+            cfg.core.max_warps
+        );
+        let cores = (0..cfg.num_cores)
+            .map(|i| SimtCore::new(gpumem_types::CoreId::new(i as u32), &cfg, Arc::clone(&program)))
+            .collect();
+        let backend = match mode {
+            MemoryMode::Hierarchy => Backend::Hierarchy {
+                req_xbar: Crossbar::new(cfg.num_cores, cfg.num_partitions, &cfg.noc),
+                resp_xbar: Crossbar::new(cfg.num_partitions, cfg.num_cores, &cfg.noc),
+                partitions: (0..cfg.num_partitions)
+                    .map(|p| MemoryPartition::new(PartitionId::new(p as u32), &cfg))
+                    .collect(),
+            },
+            MemoryMode::FixedLatency(latency) => {
+                Backend::Fixed(FixedLatencyMemory::new(latency))
+            }
+        };
+        GpuSimulator {
+            cfg,
+            program,
+            mode,
+            cores,
+            backend,
+            now: Cycle::ZERO,
+            next_cta: 0,
+            responses_delivered: 0,
+            requests_injected: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs until the kernel completes and the memory system drains.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        while !self.is_done() {
+            if self.now.raw() >= max_cycles {
+                return Err(SimError::Watchdog {
+                    cycle: self.now.raw(),
+                    instructions: self.total_instructions(),
+                    detail: self.liveness_detail(),
+                });
+            }
+            self.step();
+        }
+        debug_assert_eq!(
+            self.responses_delivered,
+            self.expected_responses(),
+            "every load request must receive exactly one response"
+        );
+        Ok(self.report())
+    }
+
+    /// Advances the whole system by one cycle.
+    pub fn step(&mut self) {
+        self.dispatch_ctas();
+        let now = self.now;
+
+        match &mut self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                for p in partitions.iter_mut() {
+                    p.cycle(now, req_xbar, resp_xbar);
+                }
+                req_xbar.tick(now);
+                resp_xbar.tick(now);
+
+                for (c, core) in self.cores.iter_mut().enumerate() {
+                    // One L1 fill per cycle from the response network.
+                    if let Some(pkt) = resp_xbar.pop_ejected(c) {
+                        core.accept_response(&pkt.fetch, now);
+                        self.responses_delivered += 1;
+                    }
+                    core.cycle(now);
+                    // Inject as many fill requests as the input buffer
+                    // accepts.
+                    while core.peek_memory_request().is_some() && req_xbar.can_inject(c) {
+                        let mut fetch = core.pop_memory_request().expect("peeked");
+                        let part =
+                            (fetch.line.index() % self.cfg.num_partitions as u64) as usize;
+                        fetch.partition = Some(PartitionId::new(part as u32));
+                        fetch.timeline.icnt_inject = Some(now);
+                        let bytes = fetch.request_bytes(self.cfg.line_bytes);
+                        let pkt = Packet::new(fetch, part, bytes, self.cfg.noc.flit_bytes);
+                        req_xbar
+                            .try_inject(c, pkt)
+                            .expect("can_inject checked");
+                        self.requests_injected += 1;
+                    }
+                    core.observe();
+                }
+                for p in partitions.iter_mut() {
+                    p.observe();
+                }
+                req_xbar.observe();
+                resp_xbar.observe();
+            }
+            Backend::Fixed(mem) => {
+                // Deliver all due responses (unlimited fill bandwidth).
+                while let Some(fetch) = mem.pop_due(now) {
+                    let idx = fetch.core.index();
+                    self.cores[idx].accept_response(&fetch, now);
+                    self.responses_delivered += 1;
+                }
+                for core in self.cores.iter_mut() {
+                    core.cycle(now);
+                    while let Some(mut fetch) = core.pop_memory_request() {
+                        fetch.timeline.icnt_inject = Some(now);
+                        self.requests_injected += 1;
+                        mem.submit(fetch, now);
+                    }
+                    core.observe();
+                }
+            }
+        }
+
+        self.now = self.now.next();
+    }
+
+    fn dispatch_ctas(&mut self) {
+        let grid = self.program.grid_ctas();
+        if self.next_cta >= grid {
+            return;
+        }
+        for core in &mut self.cores {
+            while self.next_cta < grid && core.can_accept_cta() {
+                core.assign_cta(CtaId::new(self.next_cta));
+                self.next_cta += 1;
+            }
+            if self.next_cta >= grid {
+                break;
+            }
+        }
+    }
+
+    /// True when every CTA has retired and all memory traffic has drained.
+    pub fn is_done(&self) -> bool {
+        if self.next_cta < self.program.grid_ctas() {
+            return false;
+        }
+        if !self
+            .cores
+            .iter()
+            .all(|c| c.all_ctas_retired() && !c.has_pending_memory())
+        {
+            return false;
+        }
+        match &self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                req_xbar.is_idle()
+                    && resp_xbar.is_idle()
+                    && partitions.iter().all(|p| p.is_idle())
+            }
+            Backend::Fixed(mem) => mem.is_idle(),
+        }
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    fn expected_responses(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| {
+                let s = c.l1_stats();
+                s.load_misses - s.merged_misses
+            })
+            .sum()
+    }
+
+    fn liveness_detail(&self) -> String {
+        let pending_cores = self
+            .cores
+            .iter()
+            .filter(|c| !c.all_ctas_retired() || c.has_pending_memory())
+            .count();
+        let backend = match &self.backend {
+            Backend::Hierarchy { partitions, .. } => format!(
+                "{} partitions busy",
+                partitions.iter().filter(|p| !p.is_idle()).count()
+            ),
+            Backend::Fixed(mem) => format!("{} responses pending", {
+                let _ = mem;
+                if mem.is_idle() {
+                    0
+                } else {
+                    1
+                }
+            }),
+        };
+        format!(
+            "{}/{} CTAs dispatched, {} cores pending, {}",
+            self.next_cta,
+            self.program.grid_ctas(),
+            pending_cores,
+            backend
+        )
+    }
+
+    /// Builds the final report (also available mid-run for progress
+    /// inspection).
+    pub fn report(&self) -> SimReport {
+        let (partitions, req_xbar, resp_xbar) = match &self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => (partitions.as_slice(), Some(req_xbar), Some(resp_xbar)),
+            Backend::Fixed(_) => (&[][..], None, None),
+        };
+        build_report(
+            self.program.name(),
+            &self.mode.to_string(),
+            self.now,
+            &self.cores,
+            partitions,
+            req_xbar,
+            resp_xbar,
+        )
+    }
+}

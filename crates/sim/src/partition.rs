@@ -1,0 +1,499 @@
+//! A memory partition: one banked slice of the shared L2 plus its DRAM
+//! channel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gpumem_cache::{MshrTable, ReplacementOutcome, TagArray};
+use gpumem_config::GpuConfig;
+use gpumem_dram::DramChannel;
+use gpumem_noc::{Crossbar, Packet};
+use gpumem_types::{
+    AccessKind, Cycle, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimQueue,
+};
+
+/// Activity counters for one partition's L2 slice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct L2Stats {
+    /// Load hits.
+    pub load_hits: u64,
+    /// Store hits.
+    pub store_hits: u64,
+    /// Misses that allocated a fresh MSHR entry (one DRAM fetch each).
+    pub misses: u64,
+    /// Misses merged into outstanding entries.
+    pub merged_misses: u64,
+    /// Dirty evictions written back to DRAM.
+    pub writebacks: u64,
+    /// Fills installed from DRAM.
+    pub fills: u64,
+    /// Head-of-queue stalls: target bank busy.
+    pub stall_bank_busy: u64,
+    /// Head-of-queue stalls: MSHR table full / merge exhausted.
+    pub stall_mshr: u64,
+    /// Head-of-queue stalls: miss queue towards DRAM full.
+    pub stall_miss_queue: u64,
+    /// Fill stalls: response-side resources (to-interconnect queue or
+    /// writeback slot) unavailable.
+    pub stall_fill: u64,
+}
+
+impl L2Stats {
+    /// Accumulates another partition's counters.
+    pub fn merge(&mut self, other: &L2Stats) {
+        self.load_hits += other.load_hits;
+        self.store_hits += other.store_hits;
+        self.misses += other.misses;
+        self.merged_misses += other.merged_misses;
+        self.writebacks += other.writebacks;
+        self.fills += other.fills;
+        self.stall_bank_busy += other.stall_bank_busy;
+        self.stall_mshr += other.stall_mshr;
+        self.stall_miss_queue += other.stall_miss_queue;
+        self.stall_fill += other.stall_fill;
+    }
+
+    /// Hit rate over demand accesses (loads + stores, merges counted as
+    /// misses).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.load_hits + self.store_hits;
+        let total = hits + self.misses + self.merged_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BankCompletion {
+    done_at: Cycle,
+    seq: u64,
+    fetch: MemFetch,
+}
+
+impl PartialEq for BankCompletion {
+    fn eq(&self, other: &Self) -> bool {
+        self.done_at == other.done_at && self.seq == other.seq
+    }
+}
+impl Eq for BankCompletion {}
+impl PartialOrd for BankCompletion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BankCompletion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.done_at, other.seq).cmp(&(self.done_at, self.seq))
+    }
+}
+
+/// One memory partition: banked L2 slice, its queues, the data port to the
+/// response crossbar, and the DRAM channel behind it.
+///
+/// All four Table I (b) queues live here (access, miss, response, plus the
+/// MSHR table); the Table I (a) structures live in the embedded
+/// [`DramChannel`]. The Section III congestion metric *"L2 access queues
+/// are full for 46% of their usage lifetime"* reads
+/// [`access_queue_stats`](MemoryPartition::access_queue_stats).
+pub struct MemoryPartition {
+    id: PartitionId,
+    line_bytes: u64,
+    num_partitions: u64,
+    banks: usize,
+    sets_per_bank: usize,
+    bank_latency: u64,
+    port_cycles: u64,
+    flit_bytes: u64,
+    tags: Vec<TagArray>,
+    bank_next_accept: Vec<Cycle>,
+    completions: BinaryHeap<BankCompletion>,
+    access_queue: SimQueue<MemFetch>,
+    mshr: MshrTable<MemFetch>,
+    /// Misses traversing the bank pipeline (tag access + request
+    /// generation) before becoming eligible for the miss queue.
+    miss_pipeline: std::collections::VecDeque<(Cycle, MemFetch)>,
+    miss_queue: SimQueue<MemFetch>,
+    /// Dirty evictions awaiting the DRAM write queue (kept separate from
+    /// the read miss queue so a clogged read path can never deadlock the
+    /// fill pipeline).
+    wb_queue: SimQueue<MemFetch>,
+    response_queue: SimQueue<MemFetch>,
+    to_icnt: SimQueue<MemFetch>,
+    port_free_at: Cycle,
+    dram: DramChannel,
+    next_seq: u64,
+    next_wb_seq: u64,
+    stats: L2Stats,
+}
+
+impl std::fmt::Debug for MemoryPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryPartition")
+            .field("id", &self.id)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryPartition {
+    /// Builds partition `id` of the configured GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2.sets_per_partition` is not divisible by
+    /// `l2.banks_per_partition`.
+    pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
+        let banks = cfg.l2.banks_per_partition;
+        assert!(
+            cfg.l2.sets_per_partition.is_multiple_of(banks),
+            "L2 sets per partition must divide evenly across banks"
+        );
+        let sets_per_bank = cfg.l2.sets_per_partition / banks;
+        MemoryPartition {
+            id,
+            line_bytes: cfg.line_bytes,
+            num_partitions: cfg.num_partitions as u64,
+            banks,
+            sets_per_bank,
+            bank_latency: cfg.l2.bank_latency,
+            port_cycles: cfg.l2_port_cycles(),
+            flit_bytes: cfg.noc.flit_bytes,
+            tags: (0..banks)
+                .map(|_| TagArray::new(sets_per_bank, cfg.l2.assoc))
+                .collect(),
+            bank_next_accept: vec![Cycle::ZERO; banks],
+            completions: BinaryHeap::new(),
+            access_queue: SimQueue::new("l2_access", cfg.l2.access_queue),
+            mshr: MshrTable::new(cfg.l2.mshr_entries, cfg.l2.mshr_merge),
+            miss_pipeline: std::collections::VecDeque::new(),
+            miss_queue: SimQueue::new("l2_miss", cfg.l2.miss_queue),
+            wb_queue: SimQueue::new("l2_writeback", cfg.l2.miss_queue),
+            response_queue: SimQueue::new("l2_response", cfg.l2.response_queue),
+            to_icnt: SimQueue::new("l2_to_icnt", cfg.l2.access_queue),
+            port_free_at: Cycle::ZERO,
+            dram: DramChannel::new(cfg, id.index()),
+            next_seq: 0,
+            next_wb_seq: 0,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// (bank, set) decoding of a line address within this partition.
+    fn map(&self, line: LineAddr) -> (usize, usize) {
+        let local = line.index() / self.num_partitions;
+        let bank = (local % self.banks as u64) as usize;
+        let set = ((local / self.banks as u64) % self.sets_per_bank as u64) as usize;
+        (bank, set)
+    }
+
+    /// Advances the partition one cycle. Pulls requests from the request
+    /// crossbar's ejection port `self.id`, pushes responses into the
+    /// response crossbar's input port `self.id`.
+    pub fn cycle(&mut self, now: Cycle, req_xbar: &mut Crossbar, resp_xbar: &mut Crossbar) {
+        self.intake(now, req_xbar);
+        self.dram.tick(now);
+        self.drain_dram_returns();
+        self.process_fill(now);
+        self.land_bank_completions(now);
+        self.serve_access_queue(now);
+        self.drain_miss_pipeline(now);
+        self.forward_misses_to_dram(now);
+        self.inject_responses(now, resp_xbar);
+    }
+
+    /// Moves one request per cycle from the crossbar ejection queue into
+    /// the L2 access queue (stamping its arrival).
+    fn intake(&mut self, now: Cycle, req_xbar: &mut Crossbar) {
+        if self.access_queue.is_full() {
+            return; // ejection queue backs up → crossbar credits stall
+        }
+        if let Some(mut pkt) = req_xbar.pop_ejected(self.id.index()) {
+            pkt.fetch.timeline.l2_arrive = Some(now);
+            self.access_queue
+                .push(pkt.fetch)
+                .expect("fullness checked above");
+        }
+    }
+
+    fn drain_dram_returns(&mut self) {
+        while !self.response_queue.is_full() {
+            match self.dram.pop_return() {
+                Some(f) => self
+                    .response_queue
+                    .push(f)
+                    .expect("fullness checked above"),
+                None => break,
+            }
+        }
+    }
+
+    /// Installs one DRAM fill per cycle: allocates the line, emits a
+    /// writeback for a dirty victim, and releases every merged waiter.
+    fn process_fill(&mut self, now: Cycle) {
+        let Some(head) = self.response_queue.front() else {
+            return;
+        };
+        let line = head.line;
+        let (bank, set) = self.map(line);
+        // Resources needed in the worst case: one writeback slot, and a
+        // to_icnt slot per load waiter.
+        if self.wb_queue.is_full() {
+            self.stats.stall_fill += 1;
+            return;
+        }
+        let load_waiters = self
+            .mshr
+            .waiters_of(line)
+            .map(|w| w.iter().filter(|f| f.kind.is_load()).count())
+            .unwrap_or(0);
+        if self.to_icnt.free() < load_waiters {
+            self.stats.stall_fill += 1;
+            return;
+        }
+
+        let fill = self.response_queue.pop().expect("front checked");
+        self.stats.fills += 1;
+        match self.tags[bank].fill(set, line, now) {
+            ReplacementOutcome::Evicted(e) if e.dirty => {
+                // Writeback ids: top bit set, partition in bits 40..63.
+                let wb_id = FetchId::new(
+                    (1 << 63) | ((self.id.index() as u64) << 40) | self.next_wb_seq,
+                );
+                self.next_wb_seq += 1;
+                let wb = MemFetch::new_writeback(wb_id, e.line, self.id);
+                self.stats.writebacks += 1;
+                self.wb_queue.push(wb).expect("fullness checked above");
+            }
+            _ => {}
+        }
+
+        let waiters = self.mshr.complete(line);
+        for mut w in waiters {
+            match w.kind {
+                AccessKind::Load => {
+                    w.timeline.dram_arrive = fill.timeline.dram_arrive;
+                    self.to_icnt.push(w).expect("room checked above");
+                }
+                AccessKind::Store => {
+                    self.tags[bank].mark_dirty(set, line);
+                }
+            }
+        }
+    }
+
+    /// Lands finished bank accesses (load hits) into the response path.
+    fn land_bank_completions(&mut self, now: Cycle) {
+        while let Some(head) = self.completions.peek() {
+            if head.done_at > now || self.to_icnt.is_full() {
+                if head.done_at <= now {
+                    self.stats.stall_fill += 1;
+                }
+                break;
+            }
+            let c = self.completions.pop().expect("peeked");
+            self.to_icnt.push(c.fetch).expect("fullness checked");
+        }
+    }
+
+    /// Serves the head of the access queue (one access per cycle).
+    fn serve_access_queue(&mut self, now: Cycle) {
+        let Some(head) = self.access_queue.front() else {
+            return;
+        };
+        let line = head.line;
+        let kind = head.kind;
+        let (bank, set) = self.map(line);
+
+        if self.bank_next_accept[bank] > now {
+            self.stats.stall_bank_busy += 1;
+            return;
+        }
+
+        // A load hit needs somewhere to put its response. If the path to
+        // the interconnect is clogged (and the bank pipeline already holds
+        // a backlog), stall the access queue instead of buffering
+        // unboundedly — this is how response-side congestion propagates
+        // back into the L2 access queue (the paper's 46% metric).
+        if kind == AccessKind::Load
+            && self.to_icnt.is_full()
+            && self.completions.len() >= self.banks
+            && self.tags[bank].probe(set, line).is_some()
+        {
+            self.stats.stall_fill += 1;
+            return;
+        }
+
+        let resident = self.tags[bank].access(set, line, now);
+        if resident {
+            let fetch = self.access_queue.pop().expect("front checked");
+            match kind {
+                AccessKind::Load => {
+                    self.stats.load_hits += 1;
+                    self.bank_next_accept[bank] = now + self.port_cycles;
+                    self.completions.push(BankCompletion {
+                        done_at: now + self.bank_latency,
+                        seq: self.next_seq,
+                        fetch,
+                    });
+                    self.next_seq += 1;
+                }
+                AccessKind::Store => {
+                    self.stats.store_hits += 1;
+                    self.tags[bank].mark_dirty(set, line);
+                    self.bank_next_accept[bank] = now + self.port_cycles;
+                }
+            }
+            return;
+        }
+
+        // Miss path: merge if outstanding, else allocate + fetch from DRAM.
+        if self.mshr.contains(line) {
+            if !self.mshr.can_accept(line) {
+                self.stats.stall_mshr += 1;
+                return;
+            }
+            let fetch = self.access_queue.pop().expect("front checked");
+            self.mshr.allocate(line, fetch).expect("capacity checked");
+            self.stats.merged_misses += 1;
+            self.bank_next_accept[bank] = now.next();
+            return;
+        }
+        if !self.mshr.can_accept(line) {
+            self.stats.stall_mshr += 1;
+            return;
+        }
+        let fetch = self.access_queue.pop().expect("front checked");
+        // The downstream request always *reads* the line (write-allocate:
+        // a store miss fetches the line, then the waiter dirties it). The
+        // request first traverses the bank pipeline (tag access + request
+        // generation) before becoming eligible for the miss queue.
+        let mut dram_req = fetch.clone();
+        dram_req.kind = AccessKind::Load;
+        self.mshr.allocate(line, fetch).expect("capacity checked");
+        self.stats.misses += 1;
+        self.miss_pipeline
+            .push_back((now + self.bank_latency, dram_req));
+        self.bank_next_accept[bank] = now.next();
+    }
+
+    /// Moves misses whose bank-pipeline delay elapsed into the bounded
+    /// miss queue (in order; the head blocks on a full queue).
+    fn drain_miss_pipeline(&mut self, now: Cycle) {
+        while let Some((ready, _)) = self.miss_pipeline.front() {
+            if *ready > now {
+                break;
+            }
+            if self.miss_queue.is_full() {
+                self.stats.stall_miss_queue += 1;
+                break;
+            }
+            let (_, fetch) = self.miss_pipeline.pop_front().expect("peeked");
+            self.miss_queue.push(fetch).expect("fullness checked");
+        }
+    }
+
+    fn forward_misses_to_dram(&mut self, now: Cycle) {
+        if self.miss_queue.front().is_some() && self.dram.can_accept(AccessKind::Load) {
+            let fetch = self.miss_queue.pop().expect("front checked");
+            self.dram
+                .try_push(fetch, now)
+                .expect("acceptance checked above");
+        }
+        if self.wb_queue.front().is_some() && self.dram.can_accept(AccessKind::Store) {
+            let wb = self.wb_queue.pop().expect("front checked");
+            self.dram
+                .try_push(wb, now)
+                .expect("acceptance checked above");
+        }
+    }
+
+    /// Streams one response through the data port into the response
+    /// crossbar.
+    fn inject_responses(&mut self, now: Cycle, resp_xbar: &mut Crossbar) {
+        if self.port_free_at > now {
+            return;
+        }
+        let Some(head) = self.to_icnt.front() else {
+            return;
+        };
+        if !resp_xbar.can_inject(self.id.index()) {
+            return;
+        }
+        let bytes = head
+            .response_bytes(self.line_bytes)
+            .expect("only loads enter to_icnt");
+        let fetch = self.to_icnt.pop().expect("front checked");
+        let dest = fetch.core.index();
+        let packet = Packet::new(fetch, dest, bytes, self.flit_bytes);
+        resp_xbar
+            .try_inject(self.id.index(), packet)
+            .expect("can_inject checked above");
+        self.port_free_at = now + self.port_cycles;
+    }
+
+    /// Per-cycle statistics bookkeeping.
+    pub fn observe(&mut self) {
+        self.access_queue.observe();
+        self.miss_queue.observe();
+        self.wb_queue.observe();
+        self.response_queue.observe();
+        self.to_icnt.observe();
+        self.dram.observe();
+    }
+
+    /// True when no request is anywhere inside the partition or its DRAM.
+    pub fn is_idle(&self) -> bool {
+        self.access_queue.is_empty()
+            && self.miss_pipeline.is_empty()
+            && self.miss_queue.is_empty()
+            && self.wb_queue.is_empty()
+            && self.response_queue.is_empty()
+            && self.to_icnt.is_empty()
+            && self.completions.is_empty()
+            && self.mshr.is_empty()
+            && self.dram.is_idle()
+    }
+
+    /// L2 slice counters.
+    pub fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+
+    /// Occupancy of the L2 access queue (Section III's 46% metric).
+    pub fn access_queue_stats(&self) -> &QueueStats {
+        self.access_queue.stats()
+    }
+
+    /// Occupancy of the L2 miss queue.
+    pub fn miss_queue_stats(&self) -> &QueueStats {
+        self.miss_queue.stats()
+    }
+
+    /// Occupancy of the writeback queue towards the DRAM write scheduler.
+    pub fn wb_queue_stats(&self) -> &QueueStats {
+        self.wb_queue.stats()
+    }
+
+    /// Occupancy of the L2 response queue.
+    pub fn response_queue_stats(&self) -> &QueueStats {
+        self.response_queue.stats()
+    }
+
+    /// Occupancy of the response path towards the interconnect.
+    pub fn to_icnt_queue_stats(&self) -> &QueueStats {
+        self.to_icnt.stats()
+    }
+
+    /// The DRAM channel behind this partition.
+    pub fn dram(&self) -> &DramChannel {
+        &self.dram
+    }
+}

@@ -1,0 +1,246 @@
+//! The structured result of a simulation run.
+
+use gpumem_cache::L1Stats;
+use gpumem_dram::DramStats;
+use gpumem_noc::{Crossbar, CrossbarStats};
+use gpumem_simt::{CoreStats, SimtCore};
+use gpumem_types::{Cycle, LatencyStats, QueueStats};
+use serde::{Deserialize, Serialize};
+
+use crate::{L2Stats, MemoryPartition};
+
+/// L1-side aggregates (summed over cores).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct L1Report {
+    /// Controller counters.
+    pub stats: L1Stats,
+    /// Miss-queue occupancy.
+    pub miss_queue: QueueStats,
+    /// LSU memory-pipeline occupancy.
+    pub lsu_queue: QueueStats,
+    /// Observed L1 miss latencies (the paper's Fig. 1 x-axis quantity).
+    pub miss_latency: LatencyStats,
+}
+
+/// L2-side aggregates (summed over partitions).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct L2Report {
+    /// Slice counters.
+    pub stats: L2Stats,
+    /// Access-queue occupancy — Section III's "full 46% of usage
+    /// lifetime" metric is [`QueueStats::full_fraction_of_usage`] of this.
+    pub access_queue: QueueStats,
+    /// Miss-queue (towards DRAM) occupancy.
+    pub miss_queue: QueueStats,
+    /// Response-queue (fills from DRAM) occupancy.
+    pub response_queue: QueueStats,
+    /// Response path towards the interconnect.
+    pub to_icnt_queue: QueueStats,
+}
+
+/// DRAM-side aggregates (summed over channels).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DramReport {
+    /// Channel counters.
+    pub stats: DramStats,
+    /// Scheduler-queue occupancy (read and write queues merged) —
+    /// Section III's "full 39% of usage lifetime" metric.
+    pub scheduler_queue: QueueStats,
+    /// Return-queue occupancy.
+    pub return_queue: QueueStats,
+    /// Request service latency (channel arrival → data).
+    pub service_latency: LatencyStats,
+}
+
+/// Interconnect aggregates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NocReport {
+    /// Request crossbar (cores → partitions).
+    pub request: CrossbarStats,
+    /// Response crossbar (partitions → cores).
+    pub response: CrossbarStats,
+    /// Request-network input-buffer occupancy.
+    pub request_inputs: QueueStats,
+    /// Response-network input-buffer occupancy.
+    pub response_inputs: QueueStats,
+}
+
+/// Everything measured in one simulation run.
+///
+/// Serializable so the repro harness can persist raw results next to
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Benchmark (kernel) name.
+    pub benchmark: String,
+    /// Memory mode the run used ("hierarchy" or "fixed-latency(N)").
+    pub mode: String,
+    /// Cycles simulated until completion.
+    pub cycles: u64,
+    /// Warp instructions retired (all cores).
+    pub instructions: u64,
+    /// Warp-instruction IPC (all cores).
+    pub ipc: f64,
+    /// Core-side counters (summed).
+    pub core: CoreStats,
+    /// L1 aggregates.
+    pub l1: L1Report,
+    /// L2 aggregates (absent in fixed-latency mode).
+    pub l2: Option<L2Report>,
+    /// DRAM aggregates (absent in fixed-latency mode).
+    pub dram: Option<DramReport>,
+    /// Interconnect aggregates (absent in fixed-latency mode).
+    pub noc: Option<NocReport>,
+}
+
+impl SimReport {
+    /// Mean observed L1 miss latency.
+    pub fn avg_l1_miss_latency(&self) -> f64 {
+        self.l1.miss_latency.mean()
+    }
+
+    /// Fraction of its usage lifetime the (aggregated) L2 access queue was
+    /// full — the paper's first Section III headline number (46%).
+    pub fn l2_access_queue_full_fraction(&self) -> Option<f64> {
+        self.l2
+            .as_ref()
+            .map(|l2| l2.access_queue.full_fraction_of_usage())
+    }
+
+    /// Fraction of its usage lifetime the (aggregated) DRAM scheduler
+    /// queue was full — the paper's second Section III headline number
+    /// (39%).
+    pub fn dram_queue_full_fraction(&self) -> Option<f64> {
+        self.dram
+            .as_ref()
+            .map(|d| d.scheduler_queue.full_fraction_of_usage())
+    }
+
+    /// Fraction of issue cycles lost to memory stalls.
+    pub fn memory_stall_fraction(&self) -> f64 {
+        if self.core.cycles == 0 {
+            0.0
+        } else {
+            (self.core.stall_memory + self.core.stall_mem_pipeline) as f64
+                / self.core.cycles as f64
+        }
+    }
+}
+
+/// Assembles a [`SimReport`] from the live components (crate-internal).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_report(
+    benchmark: &str,
+    mode: &str,
+    now: Cycle,
+    cores: &[SimtCore],
+    partitions: &[MemoryPartition],
+    req_xbar: Option<&Crossbar>,
+    resp_xbar: Option<&Crossbar>,
+) -> SimReport {
+    let mut core_stats = CoreStats::default();
+    let mut l1 = L1Report::default();
+    for c in cores {
+        core_stats.merge(c.stats());
+        l1.stats.merge(c.l1_stats());
+        l1.miss_queue.merge(c.l1_miss_queue_stats());
+        l1.lsu_queue.merge(c.lsu_queue_stats());
+        l1.miss_latency.merge(c.miss_latency());
+    }
+    let instructions = core_stats.instructions;
+    let cycles = now.raw();
+    let ipc = if cycles == 0 {
+        0.0
+    } else {
+        instructions as f64 / cycles as f64
+    };
+
+    let (l2, dram) = if partitions.is_empty() {
+        (None, None)
+    } else {
+        let mut l2r = L2Report::default();
+        let mut dr = DramReport::default();
+        for p in partitions {
+            l2r.stats.merge(p.stats());
+            l2r.access_queue.merge(p.access_queue_stats());
+            l2r.miss_queue.merge(p.miss_queue_stats());
+            l2r.response_queue.merge(p.response_queue_stats());
+            l2r.to_icnt_queue.merge(p.to_icnt_queue_stats());
+            dr.stats.merge(p.dram().stats());
+            dr.scheduler_queue.merge(p.dram().scheduler_queue_stats());
+            dr.scheduler_queue.merge(p.dram().write_queue_stats());
+            dr.return_queue.merge(p.dram().return_queue_stats());
+            dr.service_latency.merge(p.dram().service_latency());
+        }
+        (Some(l2r), Some(dr))
+    };
+
+    let noc = match (req_xbar, resp_xbar) {
+        (Some(req), Some(resp)) => Some(NocReport {
+            request: *req.stats(),
+            response: *resp.stats(),
+            request_inputs: req.input_queue_stats(),
+            response_inputs: resp.input_queue_stats(),
+        }),
+        _ => None,
+    };
+
+    SimReport {
+        benchmark: benchmark.to_owned(),
+        mode: mode.to_owned(),
+        cycles,
+        instructions,
+        ipc,
+        core: core_stats,
+        l1,
+        l2,
+        dram,
+        noc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_helpers_on_empty() {
+        let r = SimReport {
+            benchmark: "x".into(),
+            mode: "hierarchy".into(),
+            cycles: 0,
+            instructions: 0,
+            ipc: 0.0,
+            core: CoreStats::default(),
+            l1: L1Report::default(),
+            l2: None,
+            dram: None,
+            noc: None,
+        };
+        assert_eq!(r.avg_l1_miss_latency(), 0.0);
+        assert_eq!(r.l2_access_queue_full_fraction(), None);
+        assert_eq!(r.dram_queue_full_fraction(), None);
+        assert_eq!(r.memory_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = SimReport {
+            benchmark: "x".into(),
+            mode: "fixed-latency(100)".into(),
+            cycles: 10,
+            instructions: 5,
+            ipc: 0.5,
+            core: CoreStats::default(),
+            l1: L1Report::default(),
+            l2: Some(L2Report::default()),
+            dram: Some(DramReport::default()),
+            noc: None,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.benchmark, "x");
+        assert_eq!(back.cycles, 10);
+        assert!(back.l2.is_some());
+    }
+}

@@ -1,0 +1,130 @@
+//! Calibration of unloaded memory latencies against the paper's stated
+//! ideal access latencies: **L2 ≈ 120 cycles** and **DRAM ≈ +100 cycles
+//! via L2** (Section II).
+
+use std::sync::Arc;
+
+use gpumem_config::GpuConfig;
+use gpumem_sim::{GpuSimulator, MemoryMode};
+use gpumem_simt::{KernelProgram, WarpInstr};
+use gpumem_types::{CtaId, LineAddr};
+
+/// One warp issuing `n` dependent loads, each to a given line, with a long
+/// dependent-use distance of 1 so each latency is fully exposed.
+struct Probe {
+    lines: Vec<LineAddr>,
+}
+
+impl KernelProgram for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn grid_ctas(&self) -> u32 {
+        1
+    }
+    fn warps_per_cta(&self) -> u32 {
+        1
+    }
+    fn instr(&self, _cta: CtaId, _warp: u32, pc: u32) -> Option<WarpInstr> {
+        self.lines
+            .get(pc as usize)
+            .map(|&l| WarpInstr::load_line(l, 1))
+    }
+}
+
+fn run_probe(lines: Vec<LineAddr>) -> gpumem_sim::SimReport {
+    let cfg = GpuConfig::gtx480();
+    let mut sim = GpuSimulator::new(cfg, Arc::new(Probe { lines }), MemoryMode::Hierarchy);
+    sim.run(1_000_000).expect("probe completes")
+}
+
+#[test]
+fn unloaded_dram_round_trip_is_about_220_cycles() {
+    // One cold load: L1 miss → L2 miss → DRAM → back. The paper's ideal is
+    // 120 (L2) + 100 (DRAM) = 220 cycles.
+    let report = run_probe(vec![LineAddr::new(0)]);
+    let lat = report.avg_l1_miss_latency();
+    assert!(
+        (190.0..=250.0).contains(&lat),
+        "unloaded DRAM round trip {lat} outside 220±30"
+    );
+}
+
+#[test]
+fn unloaded_l2_hit_round_trip_is_about_120_cycles() {
+    // Second dependent load to the *same* line: L1 keeps the line, so use
+    // a second line that maps to the same partition but was prefetched by
+    // an earlier load... simplest reliable probe: load line A (installs in
+    // L1+L2), then load A again after evicting from L1? The L1 is 32 sets
+    // × 4 ways; loading 5 lines that alias the same L1 set evicts A from
+    // L1 while L2 (128 KB/partition) retains everything.
+    let cfg = GpuConfig::gtx480();
+    let sets = cfg.l1.sets as u64; // 32
+    let parts = cfg.num_partitions as u64; // 6
+    // Lines that alias in L1 (stride = sets) *and* hit the same partition
+    // (stride multiple of num_partitions): stride = lcm(32, 6) = 96.
+    let stride = sets * parts / gcd(sets, parts);
+    let mut lines: Vec<LineAddr> = (0..6).map(|i| LineAddr::new(i * stride)).collect();
+    lines.push(LineAddr::new(0)); // re-load the first line: L1 miss, L2 hit
+    let report = run_probe(lines);
+
+    let l2 = report.l2.as_ref().expect("hierarchy mode");
+    assert_eq!(l2.stats.load_hits, 1, "final access must hit in L2");
+
+    // The average mixes 6 DRAM trips (~220) and 1 L2 hit (~120); recover
+    // the L2-hit latency: lat_hit = 7*avg - 6*dram_avg.
+    let dram_only = run_probe((0..6).map(|i| LineAddr::new(i * stride)).collect());
+    let avg_all = report.avg_l1_miss_latency();
+    let avg_dram = dram_only.avg_l1_miss_latency();
+    let l2_hit_latency = 7.0 * avg_all - 6.0 * avg_dram;
+    assert!(
+        (90.0..=150.0).contains(&l2_hit_latency),
+        "unloaded L2 hit round trip {l2_hit_latency} outside 120±30 (avg_all={avg_all}, avg_dram={avg_dram})"
+    );
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[test]
+fn fixed_latency_mode_returns_exactly_the_configured_latency() {
+    let cfg = GpuConfig::gtx480();
+    for latency in [0u64, 50, 400] {
+        let mut sim = GpuSimulator::new(
+            cfg.clone(),
+            Arc::new(Probe {
+                lines: (0..4).map(|i| LineAddr::new(i * 1000)).collect(),
+            }),
+            MemoryMode::FixedLatency(latency),
+        );
+        let report = sim.run(1_000_000).expect("completes");
+        let measured = report.avg_l1_miss_latency();
+        assert!(
+            (measured - latency as f64).abs() <= 1.0,
+            "fixed {latency}: measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn deeper_memory_latency_means_longer_runtime() {
+    let cfg = GpuConfig::gtx480();
+    let mk = || {
+        Arc::new(Probe {
+            lines: (0..16).map(|i| LineAddr::new(i * 640)).collect(),
+        })
+    };
+    let fast = GpuSimulator::new(cfg.clone(), mk(), MemoryMode::FixedLatency(10))
+        .run(1_000_000)
+        .unwrap();
+    let slow = GpuSimulator::new(cfg, mk(), MemoryMode::FixedLatency(500))
+        .run(1_000_000)
+        .unwrap();
+    assert!(slow.cycles > fast.cycles * 5);
+    assert!(fast.ipc > slow.ipc);
+}

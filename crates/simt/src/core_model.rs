@@ -1,0 +1,865 @@
+//! The SIMT core (streaming multiprocessor) timing model.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gpumem_cache::{L1AccessOutcome, L1Dcache, L1Stats};
+use gpumem_config::GpuConfig;
+use gpumem_types::{
+    AccessKind, CoreId, CtaId, Cycle, FetchId, LatencyStats, MemFetch, QueueStats, SimQueue,
+};
+
+use crate::warp::WarpSlot;
+use crate::{KernelProgram, WarpInstr};
+
+/// Why a core issued nothing in a cycle (one reason recorded per stalled
+/// cycle, in the priority order the paper's analysis uses: memory first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// At least one warp was blocked waiting for a load value — the
+    /// paper's critical-path exposure ①.
+    Memory,
+    /// The LSU memory pipeline was occupied, blocking a memory instruction.
+    MemPipeline,
+    /// Warps were only waiting at a barrier.
+    Barrier,
+    /// Warps were only waiting out ALU latencies.
+    Compute,
+    /// No instruction was available (empty slots / all retired).
+    Idle,
+}
+
+/// Aggregate counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Warp instructions issued (the IPC numerator).
+    pub instructions: u64,
+    /// ALU instructions issued.
+    pub alu_instrs: u64,
+    /// Shared-memory instructions issued.
+    pub shared_instrs: u64,
+    /// Load instructions issued.
+    pub load_instrs: u64,
+    /// Store instructions issued.
+    pub store_instrs: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Coalesced global accesses generated (loads + stores).
+    pub global_accesses: u64,
+    /// Stalled cycles blamed on memory (operand not returned).
+    pub stall_memory: u64,
+    /// Stalled cycles blamed on a busy LSU pipeline.
+    pub stall_mem_pipeline: u64,
+    /// Stalled cycles blamed on barriers.
+    pub stall_barrier: u64,
+    /// Stalled cycles blamed on ALU latency.
+    pub stall_compute: u64,
+    /// Cycles with no work resident.
+    pub idle_cycles: u64,
+    /// CTAs retired.
+    pub ctas_retired: u64,
+}
+
+impl CoreStats {
+    /// Accumulates another core's counters (for per-GPU aggregation).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.alu_instrs += other.alu_instrs;
+        self.shared_instrs += other.shared_instrs;
+        self.load_instrs += other.load_instrs;
+        self.store_instrs += other.store_instrs;
+        self.barriers += other.barriers;
+        self.global_accesses += other.global_accesses;
+        self.stall_memory += other.stall_memory;
+        self.stall_mem_pipeline += other.stall_mem_pipeline;
+        self.stall_barrier += other.stall_barrier;
+        self.stall_compute += other.stall_compute;
+        self.idle_cycles += other.idle_cycles;
+        self.ctas_retired += other.ctas_retired;
+    }
+
+    /// Warp-instruction IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CtaState {
+    cta: CtaId,
+    live_warps: u32,
+    barrier_arrived: u32,
+    warp_slots: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct IssueReg {
+    accesses: VecDeque<MemFetch>,
+}
+
+/// One streaming multiprocessor.
+///
+/// Driven by the full-system simulator (or a test harness) with, per cycle:
+///
+/// 1. [`accept_response`](SimtCore::accept_response) for every response
+///    arriving from the interconnect;
+/// 2. [`cycle`](SimtCore::cycle) — wakes completed hits, feeds the L1 from
+///    the LSU pipeline, and issues new warp instructions (GTO scheduling);
+/// 3. draining [`pop_memory_request`](SimtCore::pop_memory_request) into
+///    the interconnect while it accepts packets;
+/// 4. [`observe`](SimtCore::observe) for queue statistics.
+pub struct SimtCore {
+    id: CoreId,
+    program: Arc<dyn KernelProgram>,
+    warps: Vec<WarpSlot>,
+    ctas: Vec<Option<CtaState>>,
+    issue_width: usize,
+    l1: L1Dcache,
+    lsu_queue: SimQueue<MemFetch>,
+    l1_retry: Option<MemFetch>,
+    issue_reg: Option<IssueReg>,
+    /// Assigned warp slots in age order (GTO's "oldest" order).
+    issue_order: Vec<usize>,
+    last_issued: Option<usize>,
+    next_fetch_seq: u64,
+    age_counter: u64,
+    stats: CoreStats,
+    miss_latency: LatencyStats,
+}
+
+impl std::fmt::Debug for SimtCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimtCore")
+            .field("id", &self.id)
+            .field("program", &self.program.name())
+            .field("resident_ctas", &self.resident_ctas())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimtCore {
+    /// Builds a core executing `program` under `cfg`.
+    pub fn new(id: CoreId, cfg: &GpuConfig, program: Arc<dyn KernelProgram>) -> Self {
+        let max_resident_ctas = cfg.core.max_ctas.min(program.max_ctas_per_core()).max(1);
+        SimtCore {
+            id,
+            warps: (0..cfg.core.max_warps).map(|_| WarpSlot::empty()).collect(),
+            ctas: (0..max_resident_ctas).map(|_| None).collect(),
+            issue_width: cfg.core.issue_width,
+            l1: L1Dcache::new(cfg),
+            lsu_queue: SimQueue::new("lsu_pipeline", cfg.core.mem_pipeline_width),
+            l1_retry: None,
+            issue_reg: None,
+            issue_order: Vec::new(),
+            last_issued: None,
+            next_fetch_seq: 0,
+            age_counter: 0,
+            stats: CoreStats::default(),
+            miss_latency: LatencyStats::new(),
+            program,
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// CTAs currently resident.
+    pub fn resident_ctas(&self) -> usize {
+        self.ctas.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Ids of the CTAs currently resident (diagnostics).
+    pub fn resident_cta_ids(&self) -> Vec<CtaId> {
+        self.ctas.iter().flatten().map(|c| c.cta).collect()
+    }
+
+    /// True if another CTA can be accepted (free CTA slot and enough free
+    /// warp slots).
+    pub fn can_accept_cta(&self) -> bool {
+        let free_warps = self.warps.iter().filter(|w| !w.assigned).count();
+        self.ctas.iter().any(|c| c.is_none())
+            && free_warps >= self.program.warps_per_cta() as usize
+    }
+
+    /// Places CTA `cta` onto this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`can_accept_cta`](SimtCore::can_accept_cta) is false.
+    pub fn assign_cta(&mut self, cta: CtaId) {
+        assert!(self.can_accept_cta(), "no room for CTA on {}", self.id);
+        let slot = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .expect("checked by can_accept_cta");
+        let mut warp_slots = Vec::with_capacity(self.program.warps_per_cta() as usize);
+        let mut warp_in_cta = 0;
+        for (idx, w) in self.warps.iter_mut().enumerate() {
+            if warp_in_cta == self.program.warps_per_cta() {
+                break;
+            }
+            if !w.assigned {
+                w.assign(cta, slot, warp_in_cta, self.age_counter);
+                self.age_counter += 1;
+                warp_slots.push(idx);
+                warp_in_cta += 1;
+            }
+        }
+        self.ctas[slot] = Some(CtaState {
+            cta,
+            live_warps: warp_in_cta,
+            barrier_arrived: 0,
+            warp_slots,
+        });
+        self.rebuild_issue_order();
+    }
+
+    fn rebuild_issue_order(&mut self) {
+        let mut order: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| self.warps[i].assigned)
+            .collect();
+        order.sort_by_key(|&i| self.warps[i].age);
+        self.issue_order = order;
+    }
+
+    /// True once every assigned CTA has retired.
+    pub fn all_ctas_retired(&self) -> bool {
+        self.ctas.iter().all(|c| c.is_none())
+    }
+
+    /// True while any memory activity is still owned by this core (LSU,
+    /// retry slot, issue register or outstanding L1 misses).
+    pub fn has_pending_memory(&self) -> bool {
+        self.issue_reg.is_some()
+            || self.l1_retry.is_some()
+            || !self.lsu_queue.is_empty()
+            || self.l1.outstanding_misses() > 0
+            || self.l1.peek_miss().is_some()
+    }
+
+    /// Next fill request to inject into the interconnect, if any.
+    pub fn peek_memory_request(&self) -> Option<&MemFetch> {
+        self.l1.peek_miss()
+    }
+
+    /// Removes the head fill request after a successful injection.
+    pub fn pop_memory_request(&mut self) -> Option<MemFetch> {
+        self.l1.pop_miss()
+    }
+
+    /// Delivers a response from the memory system: fills the L1 and wakes
+    /// every merged access.
+    pub fn accept_response(&mut self, fetch: &MemFetch, now: Cycle) {
+        debug_assert_eq!(fetch.core, self.id);
+        let completed = self.l1.fill(fetch, now);
+        for done in completed {
+            if let Some(lat) = done.timeline.l1_miss_latency() {
+                self.miss_latency.record(lat);
+            }
+            self.complete_warp_access(&done);
+        }
+    }
+
+    fn complete_warp_access(&mut self, fetch: &MemFetch) {
+        if fetch.kind != AccessKind::Load {
+            return;
+        }
+        let slot = fetch.warp_slot as usize;
+        let warp = &mut self.warps[slot];
+        if !warp.assigned {
+            return; // stale completion after forced teardown (tests only)
+        }
+        warp.complete_access(fetch.load_tag);
+        if warp.finished && warp.outstanding.is_empty() {
+            let cta_slot = warp.cta_slot;
+            self.maybe_retire_cta(cta_slot);
+        }
+    }
+
+    fn maybe_retire_cta(&mut self, cta_slot: usize) {
+        let Some(state) = &self.ctas[cta_slot] else {
+            return;
+        };
+        if state.live_warps > 0 {
+            return;
+        }
+        let drained = state
+            .warp_slots
+            .iter()
+            .all(|&w| self.warps[w].outstanding.is_empty());
+        if !drained {
+            return;
+        }
+        let state = self.ctas[cta_slot].take().expect("checked above");
+        for &w in &state.warp_slots {
+            self.warps[w] = WarpSlot::empty();
+        }
+        self.stats.ctas_retired += 1;
+        self.rebuild_issue_order();
+    }
+
+    /// Advances the core one cycle.
+    pub fn cycle(&mut self, now: Cycle) {
+        self.stats.cycles += 1;
+
+        // 1. Wake loads whose L1 hit latency elapsed.
+        for done in self.l1.pop_ready_hits(now) {
+            self.complete_warp_access(&done);
+        }
+
+        // 2. Feed the L1 port (one access per cycle), retry slot first.
+        let candidate = self.l1_retry.take().or_else(|| self.lsu_queue.pop());
+        if let Some(access) = candidate {
+            match self.l1.access(access, now) {
+                L1AccessOutcome::Hit
+                | L1AccessOutcome::Miss { .. }
+                | L1AccessOutcome::StoreAccepted => {}
+                L1AccessOutcome::Blocked(fetch, _) => {
+                    self.l1_retry = Some(fetch);
+                }
+            }
+        }
+
+        // 3. Drain the issue register into the LSU pipeline (one coalesced
+        //    access per cycle — the coalescer's throughput).
+        if let Some(reg) = &mut self.issue_reg {
+            if !self.lsu_queue.is_full() {
+                if let Some(access) = reg.accesses.pop_front() {
+                    self.lsu_queue
+                        .push(access)
+                        .expect("fullness checked above");
+                }
+            }
+            if reg.accesses.is_empty() {
+                self.issue_reg = None;
+            }
+        }
+
+        // 4. Issue up to `issue_width` instructions from ready warps (GTO).
+        let mut issued = 0;
+        if let Some(last) = self.last_issued {
+            while issued < self.issue_width && self.try_issue_warp(last, now) {
+                issued += 1;
+            }
+        }
+        if issued < self.issue_width {
+            let order = std::mem::take(&mut self.issue_order);
+            for &w in &order {
+                if issued >= self.issue_width {
+                    break;
+                }
+                if Some(w) == self.last_issued {
+                    continue;
+                }
+                if self.try_issue_warp(w, now) {
+                    self.last_issued = Some(w);
+                    issued += 1;
+                }
+            }
+            self.issue_order = order;
+        }
+
+        if issued == 0 {
+            self.classify_stall(now);
+        }
+    }
+
+    /// Attempts to issue one instruction from warp `w`; returns success.
+    fn try_issue_warp(&mut self, w: usize, now: Cycle) -> bool {
+        {
+            let warp = &self.warps[w];
+            if !warp.assigned
+                || warp.finished
+                || warp.at_barrier
+                || warp.ready_at > now
+                || warp.blocked_on_memory()
+            {
+                return false;
+            }
+        }
+        // Decode (cached across blocked cycles).
+        if self.warps[w].decoded.is_none() {
+            let warp = &self.warps[w];
+            let instr = self.program.instr(warp.cta, warp.warp_in_cta, warp.pc);
+            self.warps[w].decoded = Some(instr);
+        }
+        let decoded = self.warps[w]
+            .decoded
+            .as_ref()
+            .expect("filled just above");
+
+        match decoded {
+            None => {
+                self.warps[w].decoded = None;
+                self.finish_warp(w);
+                // Retiring is not an issued instruction.
+                false
+            }
+            Some(WarpInstr::Alu { latency }) => {
+                let latency = u64::from(*latency).max(1);
+                let warp = &mut self.warps[w];
+                warp.decoded = None;
+                warp.ready_at = now + latency;
+                warp.pc += 1;
+                self.stats.instructions += 1;
+                self.stats.alu_instrs += 1;
+                true
+            }
+            Some(WarpInstr::Shared { latency }) => {
+                let latency = u64::from(*latency).max(1);
+                let warp = &mut self.warps[w];
+                warp.decoded = None;
+                warp.ready_at = now + latency;
+                warp.pc += 1;
+                self.stats.instructions += 1;
+                self.stats.shared_instrs += 1;
+                true
+            }
+            Some(WarpInstr::Barrier) => {
+                self.warps[w].decoded = None;
+                self.warps[w].pc += 1;
+                self.warps[w].at_barrier = true;
+                self.stats.instructions += 1;
+                self.stats.barriers += 1;
+                let cta_slot = self.warps[w].cta_slot;
+                if let Some(cta) = &mut self.ctas[cta_slot] {
+                    cta.barrier_arrived += 1;
+                }
+                self.maybe_release_barrier(cta_slot);
+                true
+            }
+            Some(WarpInstr::Load { lines, consume_after }) => {
+                if self.issue_reg.is_some() {
+                    return false; // memory pipeline busy; decoded stays cached
+                }
+                assert!(!lines.is_empty(), "load must touch at least one line");
+                let lines = lines.clone();
+                let consume_after = (*consume_after).max(1);
+                self.warps[w].decoded = None;
+                let tag = self.warps[w].post_load(consume_after, lines.len() as u32);
+                let mut accesses = VecDeque::with_capacity(lines.len());
+                for line in lines {
+                    let mut f = MemFetch::new(
+                        self.next_fetch_id(),
+                        AccessKind::Load,
+                        line,
+                        self.id,
+                    );
+                    f.warp_slot = w as u32;
+                    f.load_tag = tag;
+                    f.timeline.issued = Some(now);
+                    accesses.push_back(f);
+                }
+                self.stats.global_accesses += accesses.len() as u64;
+                self.issue_reg = Some(IssueReg { accesses });
+                self.warps[w].pc += 1;
+                self.stats.instructions += 1;
+                self.stats.load_instrs += 1;
+                true
+            }
+            Some(WarpInstr::Store { lines }) => {
+                if self.issue_reg.is_some() {
+                    return false;
+                }
+                assert!(!lines.is_empty(), "store must touch at least one line");
+                let lines = lines.clone();
+                self.warps[w].decoded = None;
+                let mut accesses = VecDeque::with_capacity(lines.len());
+                for line in lines {
+                    let mut f = MemFetch::new(
+                        self.next_fetch_id(),
+                        AccessKind::Store,
+                        line,
+                        self.id,
+                    );
+                    f.warp_slot = w as u32;
+                    f.timeline.issued = Some(now);
+                    accesses.push_back(f);
+                }
+                self.stats.global_accesses += accesses.len() as u64;
+                self.issue_reg = Some(IssueReg { accesses });
+                self.warps[w].pc += 1;
+                self.stats.instructions += 1;
+                self.stats.store_instrs += 1;
+                true
+            }
+        }
+    }
+
+    fn next_fetch_id(&mut self) -> FetchId {
+        let id = (u64::from(self.id.index() as u32) << 40) | self.next_fetch_seq;
+        self.next_fetch_seq += 1;
+        FetchId::new(id)
+    }
+
+    fn finish_warp(&mut self, w: usize) {
+        let warp = &mut self.warps[w];
+        if warp.finished {
+            return;
+        }
+        warp.finished = true;
+        let cta_slot = warp.cta_slot;
+        if let Some(cta) = &mut self.ctas[cta_slot] {
+            debug_assert!(cta.live_warps > 0);
+            cta.live_warps -= 1;
+        }
+        // A finishing warp may satisfy a barrier its siblings wait at.
+        self.maybe_release_barrier(cta_slot);
+        self.maybe_retire_cta(cta_slot);
+    }
+
+    fn maybe_release_barrier(&mut self, cta_slot: usize) {
+        let Some(cta) = &self.ctas[cta_slot] else {
+            return;
+        };
+        if cta.live_warps == 0 || cta.barrier_arrived < cta.live_warps {
+            return;
+        }
+        let slots = cta.warp_slots.clone();
+        for s in slots {
+            self.warps[s].at_barrier = false;
+        }
+        if let Some(cta) = &mut self.ctas[cta_slot] {
+            cta.barrier_arrived = 0;
+        }
+    }
+
+    fn classify_stall(&mut self, now: Cycle) {
+        let mut any_assigned = false;
+        let mut mem_blocked = false;
+        let mut barrier = false;
+        let mut compute = false;
+        for w in &self.warps {
+            if !w.assigned || w.finished {
+                continue;
+            }
+            any_assigned = true;
+            if w.blocked_on_memory() {
+                mem_blocked = true;
+                break;
+            }
+            if w.at_barrier {
+                barrier = true;
+            } else if w.ready_at > now {
+                compute = true;
+            }
+        }
+        if mem_blocked {
+            self.stats.stall_memory += 1;
+        } else if any_assigned && self.issue_reg.is_some() {
+            self.stats.stall_mem_pipeline += 1;
+        } else if barrier {
+            self.stats.stall_barrier += 1;
+        } else if compute {
+            self.stats.stall_compute += 1;
+        } else {
+            self.stats.idle_cycles += 1;
+        }
+    }
+
+    /// Per-cycle statistics bookkeeping.
+    pub fn observe(&mut self) {
+        self.l1.observe();
+        self.lsu_queue.observe();
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// L1 controller counters.
+    pub fn l1_stats(&self) -> &L1Stats {
+        self.l1.stats()
+    }
+
+    /// L1 miss-queue occupancy statistics.
+    pub fn l1_miss_queue_stats(&self) -> &QueueStats {
+        self.l1.miss_queue_stats()
+    }
+
+    /// LSU pipeline occupancy statistics.
+    pub fn lsu_queue_stats(&self) -> &QueueStats {
+        self.lsu_queue.stats()
+    }
+
+    /// Distribution of observed L1 miss latencies (Fig. 1's x-axis
+    /// quantity, measured).
+    pub fn miss_latency(&self) -> &LatencyStats {
+        &self.miss_latency
+    }
+
+    /// The kernel this core runs.
+    pub fn program(&self) -> &Arc<dyn KernelProgram> {
+        &self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_types::LineAddr;
+
+    /// `n_alu` ALU ops then done.
+    struct AluKernel {
+        n_alu: u32,
+    }
+    impl KernelProgram for AluKernel {
+        fn name(&self) -> &str {
+            "alu"
+        }
+        fn grid_ctas(&self) -> u32 {
+            2
+        }
+        fn warps_per_cta(&self) -> u32 {
+            2
+        }
+        fn instr(&self, _cta: CtaId, _warp: u32, pc: u32) -> Option<WarpInstr> {
+            (pc < self.n_alu).then_some(WarpInstr::Alu { latency: 4 })
+        }
+    }
+
+    /// load → dependent ALU → done, one line per (cta, warp).
+    struct LoadKernel;
+    impl KernelProgram for LoadKernel {
+        fn name(&self) -> &str {
+            "load"
+        }
+        fn grid_ctas(&self) -> u32 {
+            1
+        }
+        fn warps_per_cta(&self) -> u32 {
+            2
+        }
+        fn instr(&self, cta: CtaId, warp: u32, pc: u32) -> Option<WarpInstr> {
+            match pc {
+                0 => Some(WarpInstr::load_line(
+                    LineAddr::new(u64::from(cta.index() as u32 * 64 + warp)),
+                    1,
+                )),
+                1 => Some(WarpInstr::Alu { latency: 1 }),
+                _ => None,
+            }
+        }
+    }
+
+    /// Two warps: ALU-heavy warp 0, barrier at pc 3 for both.
+    struct BarrierKernel;
+    impl KernelProgram for BarrierKernel {
+        fn name(&self) -> &str {
+            "barrier"
+        }
+        fn grid_ctas(&self) -> u32 {
+            1
+        }
+        fn warps_per_cta(&self) -> u32 {
+            2
+        }
+        fn instr(&self, _cta: CtaId, warp: u32, pc: u32) -> Option<WarpInstr> {
+            match (warp, pc) {
+                (0, 0..=2) => Some(WarpInstr::Alu { latency: 8 }),
+                (0, 3) | (1, 0) => Some(WarpInstr::Barrier),
+                (0, 4) | (1, 1) => Some(WarpInstr::Alu { latency: 1 }),
+                _ => None,
+            }
+        }
+    }
+
+    fn core_with(program: Arc<dyn KernelProgram>) -> SimtCore {
+        let cfg = GpuConfig::tiny();
+        SimtCore::new(CoreId::new(0), &cfg, program)
+    }
+
+    fn run_until_done(core: &mut SimtCore, max: u64, respond_after: Option<u64>) -> u64 {
+        let mut pending: Vec<(Cycle, MemFetch)> = Vec::new();
+        for t in 0..max {
+            let now = Cycle::new(t);
+            // deliver fixed-latency responses
+            let due: Vec<_> = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, (at, _))| *at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            for i in due.into_iter().rev() {
+                let (_, f) = pending.remove(i);
+                core.accept_response(&f, now);
+            }
+            core.cycle(now);
+            if let Some(delay) = respond_after {
+                while let Some(req) = core.pop_memory_request() {
+                    pending.push((now + delay, req));
+                }
+            }
+            core.observe();
+            if core.all_ctas_retired() && !core.has_pending_memory() {
+                return t;
+            }
+        }
+        panic!("did not finish in {max} cycles; stats: {:?}", core.stats());
+    }
+
+    #[test]
+    fn pure_alu_kernel_completes_and_counts() {
+        let mut core = core_with(Arc::new(AluKernel { n_alu: 10 }));
+        core.assign_cta(CtaId::new(0));
+        core.assign_cta(CtaId::new(1));
+        run_until_done(&mut core, 1000, None);
+        // 2 CTAs × 2 warps × 10 instructions.
+        assert_eq!(core.stats().instructions, 40);
+        assert_eq!(core.stats().alu_instrs, 40);
+        assert_eq!(core.stats().ctas_retired, 2);
+        assert!(core.all_ctas_retired());
+    }
+
+    #[test]
+    fn warp_parallelism_hides_alu_latency() {
+        // One warp of 10 ALU @4 takes ~40 cycles; four warps interleave.
+        let mut slow = core_with(Arc::new(AluKernel { n_alu: 10 }));
+        slow.assign_cta(CtaId::new(0));
+        let t1 = run_until_done(&mut slow, 1000, None);
+
+        let mut fast = core_with(Arc::new(AluKernel { n_alu: 10 }));
+        fast.assign_cta(CtaId::new(0));
+        fast.assign_cta(CtaId::new(1));
+        let t2 = run_until_done(&mut fast, 1000, None);
+        // Twice the work in well under twice the time.
+        assert!(t2 < t1 * 2, "t1={t1} t2={t2}");
+        assert!(fast.stats().ipc() > slow.stats().ipc());
+    }
+
+    #[test]
+    fn load_kernel_round_trips_through_l1() {
+        let mut core = core_with(Arc::new(LoadKernel));
+        core.assign_cta(CtaId::new(0));
+        run_until_done(&mut core, 2000, Some(100));
+        assert_eq!(core.stats().load_instrs, 2);
+        assert_eq!(core.l1_stats().load_misses, 2);
+        assert!(core.stats().stall_memory > 0, "latency must expose stalls");
+        let lat = core.miss_latency();
+        assert_eq!(lat.count(), 2);
+        assert!(lat.mean() >= 100.0, "mean {}", lat.mean());
+    }
+
+    #[test]
+    fn lower_latency_finishes_faster() {
+        let mut a = core_with(Arc::new(LoadKernel));
+        a.assign_cta(CtaId::new(0));
+        let slow = run_until_done(&mut a, 4000, Some(400));
+
+        let mut b = core_with(Arc::new(LoadKernel));
+        b.assign_cta(CtaId::new(0));
+        let fast = run_until_done(&mut b, 4000, Some(10));
+        assert!(fast < slow, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps() {
+        let mut core = core_with(Arc::new(BarrierKernel));
+        core.assign_cta(CtaId::new(0));
+        run_until_done(&mut core, 1000, None);
+        assert_eq!(core.stats().barriers, 2);
+        // Warp 1 reached the barrier immediately and had to wait for warp
+        // 0's three 8-cycle ALU ops.
+        assert!(core.stats().stall_barrier > 0 || core.stats().stall_compute > 0);
+    }
+
+    #[test]
+    fn cta_occupancy_is_bounded() {
+        let mut core = core_with(Arc::new(AluKernel { n_alu: 1000 }));
+        // tiny() allows 2 CTAs of 2 warps on 8 warp slots.
+        assert!(core.can_accept_cta());
+        core.assign_cta(CtaId::new(0));
+        assert!(core.can_accept_cta());
+        core.assign_cta(CtaId::new(1));
+        assert!(!core.can_accept_cta());
+    }
+
+    #[test]
+    fn divergent_load_generates_multiple_accesses() {
+        struct Gather;
+        impl KernelProgram for Gather {
+            fn name(&self) -> &str {
+                "gather"
+            }
+            fn grid_ctas(&self) -> u32 {
+                1
+            }
+            fn warps_per_cta(&self) -> u32 {
+                1
+            }
+            fn instr(&self, _c: CtaId, _w: u32, pc: u32) -> Option<WarpInstr> {
+                match pc {
+                    0 => Some(WarpInstr::Load {
+                        lines: (0..8).map(|i| LineAddr::new(i * 97)).collect(),
+                        consume_after: 1,
+                    }),
+                    1 => Some(WarpInstr::Alu { latency: 1 }),
+                    _ => None,
+                }
+            }
+        }
+        let mut core = core_with(Arc::new(Gather));
+        core.assign_cta(CtaId::new(0));
+        run_until_done(&mut core, 4000, Some(50));
+        assert_eq!(core.stats().global_accesses, 8);
+        assert_eq!(core.l1_stats().load_misses, 8);
+    }
+
+    #[test]
+    fn stores_do_not_block_warps() {
+        struct StoreKernel;
+        impl KernelProgram for StoreKernel {
+            fn name(&self) -> &str {
+                "store"
+            }
+            fn grid_ctas(&self) -> u32 {
+                1
+            }
+            fn warps_per_cta(&self) -> u32 {
+                1
+            }
+            fn instr(&self, _c: CtaId, _w: u32, pc: u32) -> Option<WarpInstr> {
+                match pc {
+                    0 => Some(WarpInstr::Store {
+                        lines: vec![LineAddr::new(3)],
+                    }),
+                    1 => Some(WarpInstr::Alu { latency: 1 }),
+                    _ => None,
+                }
+            }
+        }
+        let mut core = core_with(Arc::new(StoreKernel));
+        core.assign_cta(CtaId::new(0));
+        // Stores flow to the miss queue; drain them with a sink.
+        for t in 0..200 {
+            let now = Cycle::new(t);
+            core.cycle(now);
+            while core.pop_memory_request().is_some() {}
+            core.observe();
+            if core.all_ctas_retired() && !core.has_pending_memory() {
+                break;
+            }
+        }
+        assert!(core.all_ctas_retired(), "stats {:?}", core.stats());
+        assert_eq!(core.stats().store_instrs, 1);
+        assert_eq!(core.stats().stall_memory, 0);
+    }
+
+    #[test]
+    fn ipc_of_empty_core_is_zero() {
+        let core = core_with(Arc::new(AluKernel { n_alu: 1 }));
+        assert_eq!(core.stats().ipc(), 0.0);
+    }
+}

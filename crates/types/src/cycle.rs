@@ -1,0 +1,135 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// The whole simulator runs in a single clock domain (see `DESIGN.md` for the
+/// substitution rationale); DRAM timing parameters are expressed in core
+/// cycles.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_types::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let end = start + 20;
+/// assert_eq!(end - start, 20);
+/// assert!(end > start);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A cycle value far beyond any reachable simulation horizon, usable as
+    /// an "never" sentinel for `ready_at`-style fields.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: the number of cycles elapsed since `earlier`,
+    /// or zero if `earlier` is in the future.
+    #[inline]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The cycle immediately after this one.
+    #[inline]
+    pub const fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5).raw(), 15);
+        assert_eq!(c + 5 - c, 5);
+        let mut m = c;
+        m += 7;
+        assert_eq!(m.raw(), 17);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Cycle::new(5).since(Cycle::new(10)), 0);
+        assert_eq!(Cycle::new(10).since(Cycle::new(5)), 5);
+    }
+
+    #[test]
+    fn ordering_and_sentinels() {
+        assert!(Cycle::ZERO < Cycle::NEVER);
+        assert_eq!(Cycle::ZERO.next().raw(), 1);
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Cycle::from(42u64).to_string(), "42");
+    }
+}

@@ -1,0 +1,128 @@
+//! Identifiers for hardware structures and execution entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a streaming multiprocessor (SM / SIMT core).
+    ///
+    /// The GTX480 baseline has 15 cores, so valid values are `0..15` in the
+    /// default configuration.
+    CoreId,
+    "core"
+);
+
+id_newtype!(
+    /// Index of a memory partition (an L2 slice plus its DRAM channel).
+    ///
+    /// The GTX480 baseline has 6 partitions.
+    PartitionId,
+    "part"
+);
+
+id_newtype!(
+    /// Index of a cooperative thread array (thread block) within a kernel
+    /// launch grid.
+    CtaId,
+    "cta"
+);
+
+/// A warp's identity: which hardware warp slot on which core, and which CTA
+/// and intra-CTA warp it is currently running.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_types::{CoreId, CtaId, WarpId};
+///
+/// let w = WarpId::new(CoreId::new(3), 12);
+/// assert_eq!(w.core, CoreId::new(3));
+/// assert_eq!(w.slot, 12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WarpId {
+    /// The core the warp runs on.
+    pub core: CoreId,
+    /// The hardware warp slot within the core.
+    pub slot: u32,
+}
+
+impl WarpId {
+    /// Creates a warp id for a hardware slot on a core.
+    #[inline]
+    pub const fn new(core: CoreId, slot: u32) -> Self {
+        WarpId { core, slot }
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.w{}", self.core, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        assert_eq!(CoreId::new(7).index(), 7);
+        assert_eq!(PartitionId::from(3u32).index(), 3);
+        assert_eq!(CtaId::new(11).to_string(), "cta11");
+    }
+
+    #[test]
+    fn warp_display() {
+        let w = WarpId::new(CoreId::new(2), 5);
+        assert_eq!(w.to_string(), "core2.w5");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        let a = WarpId::new(CoreId::new(0), 9);
+        let b = WarpId::new(CoreId::new(1), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Scalar latency accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/min/max of a latency population.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_types::LatencyStats;
+///
+/// let mut s = LatencyStats::default();
+/// s.record(100);
+/// s.record(300);
+/// assert_eq!(s.mean(), 200.0);
+/// assert_eq!(s.min(), Some(100));
+/// assert_eq!(s.max(), Some(300));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyStats {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean latency, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another population into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn record_updates_extremes() {
+        let mut s = LatencyStats::new();
+        s.record(50);
+        s.record(10);
+        s.record(90);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(90));
+        assert_eq!(s.sum(), 150);
+        assert_eq!(s.mean(), 50.0);
+    }
+
+    #[test]
+    fn merge_handles_empties() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(7));
+        let empty = LatencyStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyStats::new();
+        a.record(1);
+        a.record(3);
+        let mut b = LatencyStats::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), Some(5));
+    }
+}

@@ -1,0 +1,354 @@
+//! Bounded FIFO queues instrumented with the occupancy statistics the
+//! paper's Section III congestion measurement is built on.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned by [`SimQueue::push`] when the queue is at capacity.
+///
+/// The rejected element is handed back so the caller can retry next cycle —
+/// in the timing model a full queue *must* exert backpressure rather than
+/// drop or grow, because that backpressure is exactly the congestion
+/// mechanism under study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> PushError<T> {
+    /// Recovers the element that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+
+/// Occupancy statistics accumulated by a [`SimQueue`].
+///
+/// The paper quantifies congestion as *"the L2 access queues are full for
+/// 46% of their usage lifetime"*. Usage lifetime is the number of observed
+/// cycles in which the queue was non-empty; the headline metric is
+/// [`QueueStats::full_fraction_of_usage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Total cycles observed (one [`SimQueue::observe`] call each).
+    pub ticks: u64,
+    /// Observed cycles in which the queue held at least one element.
+    pub ticks_nonempty: u64,
+    /// Observed cycles in which the queue was at capacity.
+    pub ticks_full: u64,
+    /// Sum of the occupancy over all observed cycles (for mean occupancy).
+    pub occupancy_sum: u64,
+    /// Total elements ever enqueued.
+    pub pushes: u64,
+    /// Total elements ever dequeued.
+    pub pops: u64,
+    /// Push attempts rejected because the queue was full.
+    pub rejected: u64,
+}
+
+impl QueueStats {
+    /// Fraction of the queue's *usage lifetime* (non-empty cycles) in which
+    /// it was full — the paper's Section III congestion metric.
+    ///
+    /// Returns 0.0 when the queue was never used.
+    pub fn full_fraction_of_usage(&self) -> f64 {
+        if self.ticks_nonempty == 0 {
+            0.0
+        } else {
+            self.ticks_full as f64 / self.ticks_nonempty as f64
+        }
+    }
+
+    /// Fraction of all observed cycles in which the queue was full.
+    pub fn full_fraction_of_total(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.ticks_full as f64 / self.ticks as f64
+        }
+    }
+
+    /// Mean occupancy over all observed cycles.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.ticks as f64
+        }
+    }
+
+    /// Merges another queue's statistics into this one (used to aggregate
+    /// the per-partition queues into the paper's averages).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.ticks += other.ticks;
+        self.ticks_nonempty += other.ticks_nonempty;
+        self.ticks_full += other.ticks_full;
+        self.occupancy_sum += other.occupancy_sum;
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.rejected += other.rejected;
+    }
+}
+
+/// A bounded FIFO with per-cycle occupancy instrumentation.
+///
+/// Every hardware queue in the simulated memory system (L1 miss queue, L2
+/// access/miss/response queues, DRAM scheduler queue, interconnect ejection
+/// buffers) is a `SimQueue`. The owning component calls
+/// [`observe`](SimQueue::observe) exactly once per simulated cycle so that
+/// the occupancy statistics are time-weighted.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_types::SimQueue;
+///
+/// let mut q = SimQueue::new("dram_sched", 2);
+/// q.push('a').unwrap();
+/// q.push('b').unwrap();
+/// assert!(q.push('c').is_err()); // full: backpressure
+/// q.observe();
+/// assert_eq!(q.stats().ticks_full, 1);
+/// assert_eq!(q.pop(), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimQueue<T> {
+    name: &'static str,
+    capacity: usize,
+    items: VecDeque<T>,
+    stats: QueueStats,
+}
+
+impl<T> SimQueue<T> {
+    /// Creates an empty queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SimQueue {
+            name,
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Enqueues `item` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying `item` back if the queue is full; the
+    /// rejection is also counted in [`QueueStats::rejected`].
+    pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
+        if self.is_full() {
+            self.stats.rejected += 1;
+            Err(PushError(item))
+        } else {
+            self.items.push_back(item);
+            self.stats.pushes += 1;
+            Ok(())
+        }
+    }
+
+    /// Dequeues from the head.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the head without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable peek at the head.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Iterates over queued elements from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first (oldest) element matching `pred`,
+    /// leaving the relative order of the others intact.
+    ///
+    /// This is the primitive behind out-of-order service policies such as
+    /// the DRAM controller's FR-FCFS scheduler, which prefers row-hit
+    /// requests over strict FIFO order.
+    pub fn remove_first_where<F>(&mut self, mut pred: F) -> Option<T>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let idx = self.items.iter().position(&mut pred)?;
+        let item = self.items.remove(idx).expect("position came from iter");
+        self.stats.pops += 1;
+        Some(item)
+    }
+
+    /// Records this cycle's occupancy. Call exactly once per simulated
+    /// cycle.
+    pub fn observe(&mut self) {
+        self.stats.ticks += 1;
+        let len = self.items.len() as u64;
+        self.stats.occupancy_sum += len;
+        if len > 0 {
+            self.stats.ticks_nonempty += 1;
+        }
+        if self.is_full() {
+            self.stats.ticks_full += 1;
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SimQueue::<u8>::new("bad", 0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = SimQueue::new("t", 4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_returns_item() {
+        let mut q = SimQueue::new("t", 1);
+        q.push("x").unwrap();
+        let err = q.push("y").unwrap_err();
+        assert_eq!(err.into_inner(), "y");
+        assert_eq!(q.stats().rejected, 1);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut q = SimQueue::new("t", 2);
+        q.observe(); // empty
+        q.push(1).unwrap();
+        q.observe(); // half
+        q.push(2).unwrap();
+        q.observe(); // full
+        q.observe(); // full again
+
+        let s = q.stats();
+        assert_eq!(s.ticks, 4);
+        assert_eq!(s.ticks_nonempty, 3);
+        assert_eq!(s.ticks_full, 2);
+        assert_eq!(s.occupancy_sum, 5); // 0 + 1 + 2 + 2
+        assert!((s.full_fraction_of_usage() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.full_fraction_of_total() - 0.5).abs() < 1e-12);
+        assert!((s.mean_occupancy() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_queue_reports_zero() {
+        let q = SimQueue::<u8>::new("t", 2);
+        assert_eq!(q.stats().full_fraction_of_usage(), 0.0);
+        assert_eq!(q.stats().full_fraction_of_total(), 0.0);
+        assert_eq!(q.stats().mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = QueueStats {
+            ticks: 10,
+            ticks_nonempty: 5,
+            ticks_full: 2,
+            occupancy_sum: 12,
+            pushes: 6,
+            pops: 6,
+            rejected: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.ticks, 20);
+        assert_eq!(a.ticks_full, 4);
+        assert_eq!(a.pushes, 12);
+    }
+
+    #[test]
+    fn remove_first_where_preserves_order() {
+        let mut q = SimQueue::new("t", 8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.remove_first_where(|&x| x % 2 == 1), Some(1));
+        assert_eq!(q.remove_first_where(|&x| x > 100), None);
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![0, 2, 3, 4, 5]);
+        assert_eq!(q.stats().pops, 1);
+    }
+
+    #[test]
+    fn front_and_iter() {
+        let mut q = SimQueue::new("t", 3);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.front(), Some(&10));
+        *q.front_mut().unwrap() += 1;
+        let v: Vec<_> = q.iter().copied().collect();
+        assert_eq!(v, vec![11, 20]);
+        assert_eq!(q.free(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic GPGPU benchmark models for the `gpumem` simulator.
+//!
+//! The paper characterizes eight memory-intensive benchmarks from
+//! Rodinia/Parboil — **cfd, dwt2d, leukocyte, nn, nw, sc (streamcluster),
+//! lbm, ss** — running on GPGPU-Sim. We cannot execute their CUDA binaries,
+//! so each benchmark is modelled as a [`SyntheticKernel`]: a procedurally
+//! generated warp instruction stream whose *memory demand profile*
+//! (arithmetic intensity, coalescing degree, access pattern, working-set
+//! size, reuse, store ratio, barrier structure) is parameterised to match
+//! the benchmark's published characterization. DESIGN.md documents this
+//! substitution; EXPERIMENTS.md reports its effect.
+//!
+//! # Example
+//!
+//! ```
+//! use gpumem_workloads::{benchmarks, by_name};
+//! use gpumem_simt::KernelProgram;
+//!
+//! let all = benchmarks();
+//! assert_eq!(all.len(), 8);
+//! let nn = by_name("nn").expect("known benchmark");
+//! assert!(nn.grid_ctas() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod params;
+mod suite;
+mod synthetic;
+
+pub use params::{AccessPattern, WorkloadParams};
+pub use suite::{benchmarks, by_name, params_of, BENCHMARK_NAMES};
+pub use synthetic::SyntheticKernel;

@@ -1,0 +1,8 @@
+//! Umbrella crate for the `gpumem` workspace: hosts the cross-crate
+//! integration tests in `tests/` and the runnable examples in `examples/`.
+//!
+//! The substance lives in the member crates; start at [`gpumem`] for the
+//! public API reproducing *Characterizing Memory Bottlenecks in GPGPU
+//! Workloads* (IISWC 2016).
+
+pub use gpumem;
