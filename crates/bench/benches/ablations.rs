@@ -30,9 +30,7 @@ fn bench_ablations(c: &mut Criterion) {
     let program = scaled_benchmark("sc", SCALE).expect("canonical name");
     for a in single_parameter_ablations(&base) {
         group.bench_function(a.name, |b| {
-            b.iter(|| {
-                run_benchmark(&a.config, &program, MemoryMode::Hierarchy).expect("completes")
-            })
+            b.iter(|| run_benchmark(&a.config, &program, MemoryMode::Hierarchy).expect("completes"))
         });
     }
 

@@ -34,8 +34,8 @@ fn bench_fig1(c: &mut Criterion) {
 
         group.bench_function(name, |b| {
             b.iter(|| {
-                let profile = latency_tolerance_profile(&cfg, &program, &LATENCIES)
-                    .expect("sweep completes");
+                let profile =
+                    latency_tolerance_profile(&cfg, &program, &LATENCIES).expect("sweep completes");
                 // Shape assertion: the curve never rises with latency
                 // (beyond noise).
                 for w in profile.points.windows(2) {

@@ -10,7 +10,12 @@ use gpumem_noc::{Crossbar, Packet};
 use gpumem_types::{AccessKind, CoreId, Cycle, FetchId, LineAddr, MemFetch, SimRng};
 
 fn fetch(id: u64, line: u64) -> MemFetch {
-    MemFetch::new(FetchId::new(id), AccessKind::Load, LineAddr::new(line), CoreId::new(0))
+    MemFetch::new(
+        FetchId::new(id),
+        AccessKind::Load,
+        LineAddr::new(line),
+        CoreId::new(0),
+    )
 }
 
 fn bench_tag_array(c: &mut Criterion) {

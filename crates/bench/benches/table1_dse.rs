@@ -29,7 +29,11 @@ fn bench_dse(c: &mut Criterion) {
     group.sample_size(10);
 
     // One design point end to end (benchmark × config run).
-    for dp in [DesignPoint::L2_ONLY, DesignPoint::DRAM_ONLY, DesignPoint::L2_DRAM] {
+    for dp in [
+        DesignPoint::L2_ONLY,
+        DesignPoint::DRAM_ONLY,
+        DesignPoint::L2_DRAM,
+    ] {
         let scaled_cfg = dp.apply(&cfg);
         let program = scaled_benchmark("sc", SCALE).expect("canonical name");
         group.bench_function(dp.label(), |b| {

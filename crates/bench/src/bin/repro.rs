@@ -2,7 +2,7 @@
 //! Bottlenecks in GPGPU Workloads* (IISWC 2016).
 //!
 //! ```text
-//! repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|all]
+//! repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|perf|all]
 //! ```
 //!
 //! * `fig1`       — Fig. 1 latency-tolerance sweep (17 points × 8 benchmarks)
@@ -11,7 +11,9 @@
 //! * `table1`     — prints Table I itself (configuration values)
 //! * `latency`    — Section II baseline-vs-ideal latency comparison
 //! * `ablation`   — Section V future work: per-row ablation + cost ranking
-//! * `all`        — everything above (default)
+//! * `perf`       — host throughput: stepping vs event-horizon skipping
+//!   (cycles/sec, skipped fraction, speedup)
+//! * `all`        — everything above except `perf` (default)
 //!
 //! `--scale F` scales the workloads (grid × F, iterations × √F) for quick
 //! runs; the shipped EXPERIMENTS.md numbers use the full scale (1.0).
@@ -49,7 +51,7 @@ fn parse_args() -> Args {
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
             }
-            "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "all" => {
+            "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf" | "all" => {
                 command = arg;
             }
             other => die(&format!("unknown argument: {other}")),
@@ -65,7 +67,8 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|all]"
+        "usage: repro [--scale F] [--json DIR] \
+         [fig1|congestion|dse|table1|latency|ablation|perf|all]"
     );
     std::process::exit(2)
 }
@@ -124,10 +127,102 @@ fn run_latency(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
     for r in &study.rows {
         println!("{:>10} {:>24.0}", r.benchmark, r.avg_l1_miss_latency);
     }
-    let avg = study.rows.iter().map(|r| r.avg_l1_miss_latency).sum::<f64>()
+    let avg = study
+        .rows
+        .iter()
+        .map(|r| r.avg_l1_miss_latency)
+        .sum::<f64>()
         / study.rows.len().max(1) as f64;
     println!("{:>10} {avg:>24.0}", "AVERAGE");
     dump_json(json, "latency", &study);
+}
+
+/// One row of the `perf` command: the same run executed strictly per-cycle
+/// and with event-horizon skipping.
+#[derive(serde::Serialize)]
+struct PerfRow {
+    benchmark: String,
+    mode: String,
+    cycles: u64,
+    stepped_wall_s: f64,
+    skipping_wall_s: f64,
+    speedup: f64,
+    stepped_mcyc_per_s: f64,
+    skipping_mcyc_per_s: f64,
+    skipped_fraction: f64,
+}
+
+fn perf_row(cfg: &GpuConfig, program: &Arc<dyn KernelProgram>, mode: MemoryMode) -> PerfRow {
+    let stepped = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+        .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
+        .expect("stepped run completes");
+    let skipping = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+        .run(gpumem::DEFAULT_MAX_CYCLES)
+        .expect("skipping run completes");
+    let hs = stepped.host.as_ref().expect("run fills host perf");
+    let hk = skipping.host.as_ref().expect("run fills host perf");
+    assert_eq!(
+        stepped.cycles, skipping.cycles,
+        "skipping must be observationally invisible"
+    );
+    PerfRow {
+        benchmark: stepped.benchmark.clone(),
+        mode: stepped.mode.clone(),
+        cycles: stepped.cycles,
+        stepped_wall_s: hs.wall_seconds,
+        skipping_wall_s: hk.wall_seconds,
+        speedup: if hk.wall_seconds > 0.0 {
+            hs.wall_seconds / hk.wall_seconds
+        } else {
+            1.0
+        },
+        stepped_mcyc_per_s: hs.cycles_per_sec / 1e6,
+        skipping_mcyc_per_s: hk.cycles_per_sec / 1e6,
+        skipped_fraction: hk.skipped_fraction,
+    }
+}
+
+fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    let mut rows = Vec::new();
+    for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
+        for program in suite(scale) {
+            eprintln!("perf: {} / {mode} ...", program.name());
+            rows.push(perf_row(cfg, &program, mode));
+        }
+    }
+    println!("HOST THROUGHPUT — PER-CYCLE STEPPING vs EVENT-HORIZON SKIPPING");
+    println!(
+        "{:>10} {:>18} {:>12} {:>11} {:>11} {:>9} {:>9}",
+        "benchmark", "mode", "cycles", "step Mc/s", "skip Mc/s", "skipped", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>18} {:>12} {:>11.2} {:>11.2} {:>8.1}% {:>8.2}x",
+            r.benchmark,
+            r.mode,
+            r.cycles,
+            r.stepped_mcyc_per_s,
+            r.skipping_mcyc_per_s,
+            100.0 * r.skipped_fraction,
+            r.speedup
+        );
+    }
+    for (label, filter) in [
+        ("hierarchy", "hierarchy"),
+        ("fixed-latency", "fixed-latency"),
+    ] {
+        let speedups: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.mode.starts_with(filter))
+            .map(|r| r.speedup)
+            .collect();
+        if !speedups.is_empty() {
+            let geomean =
+                (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+            println!("{label} geomean speedup: {geomean:.2}x");
+        }
+    }
+    dump_json(json, "perf", &rows);
 }
 
 fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
@@ -141,7 +236,10 @@ fn main() {
     let args = parse_args();
     let cfg = GpuConfig::gtx480();
     if (args.scale - 1.0).abs() > f64::EPSILON {
-        eprintln!("note: workloads scaled by {} — numbers differ from EXPERIMENTS.md", args.scale);
+        eprintln!(
+            "note: workloads scaled by {} — numbers differ from EXPERIMENTS.md",
+            args.scale
+        );
     }
     match args.command.as_str() {
         "table1" => println!("{}", text::table_i()),
@@ -149,6 +247,7 @@ fn main() {
         "congestion" => run_congestion(&cfg, args.scale, &args.json_dir),
         "dse" => run_dse(&cfg, args.scale, &args.json_dir),
         "ablation" => run_ablation(&cfg, args.scale, &args.json_dir),
+        "perf" => run_perf(&cfg, args.scale, &args.json_dir),
         "latency" => run_latency(&cfg, args.scale, &args.json_dir),
         "all" => {
             println!("{}", text::table_i());

@@ -264,9 +264,20 @@ impl L1Dcache {
         waiters
     }
 
+    /// Ready time of the earliest queued hit response, if any.
+    pub fn next_ready_hit(&self) -> Option<Cycle> {
+        self.ready_hits.peek().map(|h| h.ready)
+    }
+
     /// Per-cycle bookkeeping (queue occupancy statistics).
     pub fn observe(&mut self) {
         self.miss_queue.observe();
+    }
+
+    /// Batch bookkeeping for `cycles` consecutive quiescent cycles (see
+    /// [`SimQueue::observe_many`]).
+    pub fn observe_many(&mut self, cycles: u64) {
+        self.miss_queue.observe_many(cycles);
     }
 
     /// Activity counters.
@@ -305,11 +316,21 @@ mod tests {
     }
 
     fn load(id: u64, line: u64) -> MemFetch {
-        MemFetch::new(FetchId::new(id), AccessKind::Load, LineAddr::new(line), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(id),
+            AccessKind::Load,
+            LineAddr::new(line),
+            CoreId::new(0),
+        )
     }
 
     fn store(id: u64, line: u64) -> MemFetch {
-        MemFetch::new(FetchId::new(id), AccessKind::Store, LineAddr::new(line), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(id),
+            AccessKind::Store,
+            LineAddr::new(line),
+            CoreId::new(0),
+        )
     }
 
     #[test]

@@ -199,13 +199,25 @@ mod tests {
     #[test]
     fn fills_up_and_rejects() {
         let mut m: MshrTable<u32> = MshrTable::new(2, 2);
-        assert_eq!(m.allocate(LineAddr::new(1), 0).unwrap(), MshrAllocation::NewEntry);
-        assert_eq!(m.allocate(LineAddr::new(2), 1).unwrap(), MshrAllocation::NewEntry);
+        assert_eq!(
+            m.allocate(LineAddr::new(1), 0).unwrap(),
+            MshrAllocation::NewEntry
+        );
+        assert_eq!(
+            m.allocate(LineAddr::new(2), 1).unwrap(),
+            MshrAllocation::NewEntry
+        );
         assert_eq!(m.allocate(LineAddr::new(3), 2), Err(MshrError::Full));
         // Merging into an existing line still works while full.
-        assert_eq!(m.allocate(LineAddr::new(1), 3).unwrap(), MshrAllocation::Merged);
+        assert_eq!(
+            m.allocate(LineAddr::new(1), 3).unwrap(),
+            MshrAllocation::Merged
+        );
         // But merge capacity is bounded.
-        assert_eq!(m.allocate(LineAddr::new(1), 4), Err(MshrError::MergeCapacity));
+        assert_eq!(
+            m.allocate(LineAddr::new(1), 4),
+            Err(MshrError::MergeCapacity)
+        );
         assert!(!m.can_accept(LineAddr::new(1)));
         assert!(m.can_accept(LineAddr::new(2)));
         assert!(!m.can_accept(LineAddr::new(9)));

@@ -225,7 +225,10 @@ impl TagArray {
 
     /// Iterates over the valid lines of a set (for invariant checks).
     pub fn lines_in_set(&self, set: usize) -> impl Iterator<Item = LineAddr> + '_ {
-        self.set_slice(set).iter().filter(|w| w.valid).map(|w| w.line)
+        self.set_slice(set)
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| w.line)
     }
 }
 
@@ -286,7 +289,10 @@ mod tests {
         let mut t = TagArray::new(1, 2);
         let l = LineAddr::new(3);
         t.fill(0, l, Cycle::new(1));
-        assert_eq!(t.fill(0, l, Cycle::new(2)), ReplacementOutcome::AlreadyPresent);
+        assert_eq!(
+            t.fill(0, l, Cycle::new(2)),
+            ReplacementOutcome::AlreadyPresent
+        );
         assert_eq!(t.valid_lines(), 1);
     }
 

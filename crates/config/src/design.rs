@@ -48,21 +48,99 @@ pub struct TableRow {
 /// values applied by [`DesignPoint::apply`].
 pub const TABLE_I: &[TableRow] = &[
     // (a) DRAM
-    TableRow { section: "DRAM", name: "Scheduler queue", param_type: ParamType::Equal, baseline: "16 entries", scaled: "64 entries" },
-    TableRow { section: "DRAM", name: "DRAM Banks", param_type: ParamType::Equal, baseline: "16 banks/chip", scaled: "64 banks/chip" },
-    TableRow { section: "DRAM", name: "Bus width", param_type: ParamType::Plus, baseline: "32-bits/chip", scaled: "64-bits/chip" },
+    TableRow {
+        section: "DRAM",
+        name: "Scheduler queue",
+        param_type: ParamType::Equal,
+        baseline: "16 entries",
+        scaled: "64 entries",
+    },
+    TableRow {
+        section: "DRAM",
+        name: "DRAM Banks",
+        param_type: ParamType::Equal,
+        baseline: "16 banks/chip",
+        scaled: "64 banks/chip",
+    },
+    TableRow {
+        section: "DRAM",
+        name: "Bus width",
+        param_type: ParamType::Plus,
+        baseline: "32-bits/chip",
+        scaled: "64-bits/chip",
+    },
     // (b) L2 Cache
-    TableRow { section: "L2 Cache", name: "L2 miss queue", param_type: ParamType::Equal, baseline: "8 entries", scaled: "32 entries" },
-    TableRow { section: "L2 Cache", name: "L2 response queue", param_type: ParamType::Equal, baseline: "8 entries", scaled: "32 entries" },
-    TableRow { section: "L2 Cache", name: "MSHR", param_type: ParamType::Equal, baseline: "32 entries", scaled: "128 entries" },
-    TableRow { section: "L2 Cache", name: "L2 access queue", param_type: ParamType::Equal, baseline: "8 entries", scaled: "32 entries" },
-    TableRow { section: "L2 Cache", name: "L2 data port", param_type: ParamType::Plus, baseline: "32 bytes", scaled: "128 bytes" },
-    TableRow { section: "L2 Cache", name: "Flit size (crossbar)", param_type: ParamType::Plus, baseline: "4 bytes", scaled: "16 bytes" },
-    TableRow { section: "L2 Cache", name: "L2 banks", param_type: ParamType::Plus, baseline: "2 banks/partition", scaled: "8 banks/partition" },
+    TableRow {
+        section: "L2 Cache",
+        name: "L2 miss queue",
+        param_type: ParamType::Equal,
+        baseline: "8 entries",
+        scaled: "32 entries",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "L2 response queue",
+        param_type: ParamType::Equal,
+        baseline: "8 entries",
+        scaled: "32 entries",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "MSHR",
+        param_type: ParamType::Equal,
+        baseline: "32 entries",
+        scaled: "128 entries",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "L2 access queue",
+        param_type: ParamType::Equal,
+        baseline: "8 entries",
+        scaled: "32 entries",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "L2 data port",
+        param_type: ParamType::Plus,
+        baseline: "32 bytes",
+        scaled: "128 bytes",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "Flit size (crossbar)",
+        param_type: ParamType::Plus,
+        baseline: "4 bytes",
+        scaled: "16 bytes",
+    },
+    TableRow {
+        section: "L2 Cache",
+        name: "L2 banks",
+        param_type: ParamType::Plus,
+        baseline: "2 banks/partition",
+        scaled: "8 banks/partition",
+    },
     // (c) L1 Cache
-    TableRow { section: "L1 Cache", name: "L1 miss queue", param_type: ParamType::Equal, baseline: "8 entries", scaled: "32 entries" },
-    TableRow { section: "L1 Cache", name: "MSHR (L1D)", param_type: ParamType::Equal, baseline: "32 entries", scaled: "128 entries" },
-    TableRow { section: "L1 Cache", name: "Memory pipeline width", param_type: ParamType::Equal, baseline: "10", scaled: "40" },
+    TableRow {
+        section: "L1 Cache",
+        name: "L1 miss queue",
+        param_type: ParamType::Equal,
+        baseline: "8 entries",
+        scaled: "32 entries",
+    },
+    TableRow {
+        section: "L1 Cache",
+        name: "MSHR (L1D)",
+        param_type: ParamType::Equal,
+        baseline: "32 entries",
+        scaled: "128 entries",
+    },
+    TableRow {
+        section: "L1 Cache",
+        name: "Memory pipeline width",
+        param_type: ParamType::Equal,
+        baseline: "10",
+        scaled: "40",
+    },
 ];
 
 /// A point in the Section IV design space: which levels of the memory
@@ -91,19 +169,47 @@ pub struct DesignPoint {
 
 impl DesignPoint {
     /// The unmodified baseline.
-    pub const BASELINE: DesignPoint = DesignPoint { l1: false, l2: false, dram: false };
+    pub const BASELINE: DesignPoint = DesignPoint {
+        l1: false,
+        l2: false,
+        dram: false,
+    };
     /// Scale L1 alone (paper: +4% average, can degrade in isolation).
-    pub const L1_ONLY: DesignPoint = DesignPoint { l1: true, l2: false, dram: false };
+    pub const L1_ONLY: DesignPoint = DesignPoint {
+        l1: true,
+        l2: false,
+        dram: false,
+    };
     /// Scale L2 alone (paper: +59% average).
-    pub const L2_ONLY: DesignPoint = DesignPoint { l1: false, l2: true, dram: false };
+    pub const L2_ONLY: DesignPoint = DesignPoint {
+        l1: false,
+        l2: true,
+        dram: false,
+    };
     /// Scale DRAM alone (paper: +11% average).
-    pub const DRAM_ONLY: DesignPoint = DesignPoint { l1: false, l2: false, dram: true };
+    pub const DRAM_ONLY: DesignPoint = DesignPoint {
+        l1: false,
+        l2: false,
+        dram: true,
+    };
     /// Scale L1 and L2 together (paper: +69% average, > 4% + 59%).
-    pub const L1_L2: DesignPoint = DesignPoint { l1: true, l2: true, dram: false };
+    pub const L1_L2: DesignPoint = DesignPoint {
+        l1: true,
+        l2: true,
+        dram: false,
+    };
     /// Scale L2 and DRAM together (paper: +76% average, > 59% + 11%).
-    pub const L2_DRAM: DesignPoint = DesignPoint { l1: false, l2: true, dram: true };
+    pub const L2_DRAM: DesignPoint = DesignPoint {
+        l1: false,
+        l2: true,
+        dram: true,
+    };
     /// Scale every level.
-    pub const ALL: DesignPoint = DesignPoint { l1: true, l2: true, dram: true };
+    pub const ALL: DesignPoint = DesignPoint {
+        l1: true,
+        l2: true,
+        dram: true,
+    };
 
     /// The design points evaluated in Section IV, in presentation order.
     pub const SECTION_IV: [DesignPoint; 5] = [
@@ -122,7 +228,7 @@ impl DesignPoint {
         if self.dram {
             cfg.dram.scheduler_queue = baseline.dram.scheduler_queue * 4; // 16 → 64
             cfg.dram.banks = baseline.dram.banks * 4; // 16 → 64
-            // Bus width is the paper's saturation exception: 2× only.
+                                                      // Bus width is the paper's saturation exception: 2× only.
             cfg.dram.bus_bytes = baseline.dram.bus_bytes * 2; // 32 → 64 bits
         }
         if self.l2 {
@@ -193,20 +299,18 @@ pub fn single_parameter_ablations(base: &GpuConfig) -> Vec<Ablation> {
     let parts = base.num_partitions as u64;
     let cores = base.num_cores as u64;
     let mut out = Vec::new();
-    let mut push = |name: &'static str,
-                    section: &'static str,
-                    cost_bits: u64,
-                    f: &dyn Fn(&mut GpuConfig)| {
-        let mut config = base.clone();
-        f(&mut config);
-        debug_assert!(config.validate().is_ok(), "{name} ablation invalid");
-        out.push(Ablation {
-            name,
-            section,
-            config,
-            cost_bits,
-        });
-    };
+    let mut push =
+        |name: &'static str, section: &'static str, cost_bits: u64, f: &dyn Fn(&mut GpuConfig)| {
+            let mut config = base.clone();
+            f(&mut config);
+            debug_assert!(config.validate().is_ok(), "{name} ablation invalid");
+            out.push(Ablation {
+                name,
+                section,
+                config,
+                cost_bits,
+            });
+        };
 
     // (a) DRAM
     push("Scheduler queue", "DRAM", 48 * REQ_BITS * parts, &|c| {
@@ -224,9 +328,14 @@ pub fn single_parameter_ablations(base: &GpuConfig) -> Vec<Ablation> {
     push("L2 miss queue", "L2 Cache", 24 * REQ_BITS * parts, &|c| {
         c.l2.miss_queue *= 4;
     });
-    push("L2 response queue", "L2 Cache", 24 * line_bits * parts, &|c| {
-        c.l2.response_queue *= 4;
-    });
+    push(
+        "L2 response queue",
+        "L2 Cache",
+        24 * line_bits * parts,
+        &|c| {
+            c.l2.response_queue *= 4;
+        },
+    );
     push("MSHR", "L2 Cache", 96 * REQ_BITS * parts, &|c| {
         c.l2.mshr_entries *= 4;
     });
@@ -236,9 +345,14 @@ pub fn single_parameter_ablations(base: &GpuConfig) -> Vec<Ablation> {
     push("L2 data port", "L2 Cache", 96 * 8 * parts, &|c| {
         c.l2.data_port_bytes *= 4;
     });
-    push("Flit size (crossbar)", "L2 Cache", 12 * 8 * (cores + parts), &|c| {
-        c.noc.flit_bytes *= 4;
-    });
+    push(
+        "Flit size (crossbar)",
+        "L2 Cache",
+        12 * 8 * (cores + parts),
+        &|c| {
+            c.noc.flit_bytes *= 4;
+        },
+    );
     push("L2 banks", "L2 Cache", 6 * line_bits * parts, &|c| {
         c.l2.banks_per_partition *= 4;
     });
@@ -249,9 +363,14 @@ pub fn single_parameter_ablations(base: &GpuConfig) -> Vec<Ablation> {
     push("MSHR (L1D)", "L1 Cache", 96 * REQ_BITS * cores, &|c| {
         c.l1.mshr_entries *= 4;
     });
-    push("Memory pipeline width", "L1 Cache", 30 * REQ_BITS * cores, &|c| {
-        c.core.mem_pipeline_width *= 4;
-    });
+    push(
+        "Memory pipeline width",
+        "L1 Cache",
+        30 * REQ_BITS * cores,
+        &|c| {
+            c.core.mem_pipeline_width *= 4;
+        },
+    );
     out
 }
 
@@ -263,8 +382,14 @@ mod tests {
     fn table_i_has_thirteen_rows() {
         assert_eq!(TABLE_I.len(), 13);
         assert_eq!(TABLE_I.iter().filter(|r| r.section == "DRAM").count(), 3);
-        assert_eq!(TABLE_I.iter().filter(|r| r.section == "L2 Cache").count(), 7);
-        assert_eq!(TABLE_I.iter().filter(|r| r.section == "L1 Cache").count(), 3);
+        assert_eq!(
+            TABLE_I.iter().filter(|r| r.section == "L2 Cache").count(),
+            7
+        );
+        assert_eq!(
+            TABLE_I.iter().filter(|r| r.section == "L1 Cache").count(),
+            3
+        );
     }
 
     #[test]
@@ -383,7 +508,10 @@ mod tests {
         reverted.dram.bus_bytes = base.dram.bus_bytes;
         assert_eq!(reverted, base);
 
-        let flit = abl.iter().find(|a| a.name == "Flit size (crossbar)").unwrap();
+        let flit = abl
+            .iter()
+            .find(|a| a.name == "Flit size (crossbar)")
+            .unwrap();
         assert_eq!(flit.config.noc.flit_bytes, base.noc.flit_bytes * 4);
         let mut reverted = flit.config.clone();
         reverted.noc.flit_bytes = base.noc.flit_bytes;

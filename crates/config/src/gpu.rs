@@ -258,7 +258,10 @@ impl GpuConfig {
         }
         fn pow2(v: u64, name: &'static str) -> Result<(), ConfigError> {
             if !v.is_power_of_two() {
-                Err(ConfigError::new(name, format!("must be a power of two (got {v})")))
+                Err(ConfigError::new(
+                    name,
+                    format!("must be a power of two (got {v})"),
+                ))
             } else {
                 Ok(())
             }
@@ -346,7 +349,8 @@ impl GpuConfig {
     /// Cycles the DRAM data bus is busy transferring one cache line
     /// (`bus_bytes × data_rate` bytes move per core cycle).
     pub fn dram_burst_cycles(&self) -> u64 {
-        self.line_bytes.div_ceil(self.dram.bus_bytes * self.dram.data_rate)
+        self.line_bytes
+            .div_ceil(self.dram.bus_bytes * self.dram.data_rate)
     }
 
     /// Total L1 data-cache capacity per core in bytes.
@@ -391,7 +395,7 @@ mod tests {
         assert_eq!(c.dram.scheduler_queue, 16);
         assert_eq!(c.dram.banks, 16);
         assert_eq!(c.dram.bus_bytes * 8, 32); // 32 bits
-        // Table I (b) L2
+                                              // Table I (b) L2
         assert_eq!(c.l2.miss_queue, 8);
         assert_eq!(c.l2.response_queue, 8);
         assert_eq!(c.l2.mshr_entries, 32);

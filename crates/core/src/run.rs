@@ -1,7 +1,7 @@
 //! Helpers for running benchmarks, serially or across threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 use gpumem_config::GpuConfig;
@@ -63,35 +63,36 @@ pub fn run_benchmarks_parallel(specs: &[RunSpec]) -> Result<Vec<SimReport>, SimE
         .unwrap_or(4)
         .min(n);
     let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Result<SimReport, SimError>>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<SimReport, SimError>)>();
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let spec = &specs[i];
-                let out = GpuSimulator::new(
-                    spec.cfg.clone(),
-                    Arc::clone(&spec.program),
-                    spec.mode,
-                )
-                .run(DEFAULT_MAX_CYCLES);
-                *slots[i].lock().expect("no poisoning: sim code does not panic") = Some(out);
+                let out = GpuSimulator::new(spec.cfg.clone(), Arc::clone(&spec.program), spec.mode)
+                    .run(DEFAULT_MAX_CYCLES);
+                tx.send((i, out)).expect("receiver outlives the scope");
             });
         }
     });
+    drop(tx);
 
-    slots
+    // Workers finish in arbitrary order; reassemble by index so the output
+    // order (and the index of the error returned, if any) depends only on
+    // the input.
+    let mut results: Vec<Option<Result<SimReport, SimError>>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        results[i] = Some(out);
+    }
+    results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no poisoning: sim code does not panic")
-                .expect("every index was written by a worker")
-        })
+        .map(|slot| slot.expect("every index was sent by a worker"))
         .collect()
 }
 

@@ -12,7 +12,10 @@ use crate::experiments::latency_tolerance::LatencyProfile;
 /// Renders the paper's Table I verbatim.
 pub fn table_i() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I — CONSOLIDATED DESIGN SPACE TO MITIGATE CONGESTION");
+    let _ = writeln!(
+        out,
+        "TABLE I — CONSOLIDATED DESIGN SPACE TO MITIGATE CONGESTION"
+    );
     let mut section = "";
     for row in TABLE_I {
         if row.section != section {
@@ -113,7 +116,10 @@ pub fn congestion_table(study: &CongestionStudy) -> String {
 /// Renders the Section IV design-space exploration.
 pub fn dse_table(study: &DseStudy) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "SECTION IV — DESIGN-SPACE EXPLORATION (speedup vs baseline)");
+    let _ = writeln!(
+        out,
+        "SECTION IV — DESIGN-SPACE EXPLORATION (speedup vs baseline)"
+    );
     let _ = write!(out, "{:>10}", "benchmark");
     for p in &study.points {
         let _ = write!(out, " {:>9}", p.design.label());
@@ -141,7 +147,10 @@ pub fn dse_table(study: &DseStudy) -> String {
     let _ = writeln!(out);
 
     let _ = writeln!(out);
-    let _ = writeln!(out, "Paper averages: L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%, L2+DRAM +76%");
+    let _ = writeln!(
+        out,
+        "Paper averages: L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%, L2+DRAM +76%"
+    );
     for p in &study.points {
         let degraded = p.degraded();
         if !degraded.is_empty() {
@@ -179,8 +188,16 @@ mod tests {
             baseline_ipc: 2.0,
             baseline_avg_miss_latency: 350.0,
             points: vec![
-                LatencyPoint { latency: 0, ipc: 8.0, normalized_ipc: 4.0 },
-                LatencyPoint { latency: 400, ipc: 2.0, normalized_ipc: 1.0 },
+                LatencyPoint {
+                    latency: 0,
+                    ipc: 8.0,
+                    normalized_ipc: 4.0,
+                },
+                LatencyPoint {
+                    latency: 400,
+                    ipc: 2.0,
+                    normalized_ipc: 1.0,
+                },
             ],
             plateau_end: 0,
             baseline_intercept: Some(400.0),

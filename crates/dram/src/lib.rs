@@ -171,7 +171,10 @@ impl DramChannel {
     /// (`row_bytes < line_bytes` or zero stride).
     pub fn from_parts(cfg: DramConfig, line_bytes: u64, stride: u64) -> Self {
         assert!(stride > 0, "partition stride must be positive");
-        assert!(cfg.row_bytes >= line_bytes, "row must hold at least one line");
+        assert!(
+            cfg.row_bytes >= line_bytes,
+            "row must hold at least one line"
+        );
         let lines_per_row = cfg.row_bytes / line_bytes;
         let burst_cycles = line_bytes.div_ceil(cfg.bus_bytes * cfg.data_rate);
         DramChannel {
@@ -331,9 +334,7 @@ impl DramChannel {
         };
         let chosen = queue
             .remove_first_where(|p| pick_row_hit(p, &banks_snapshot, stride, lpr))
-            .or_else(|| {
-                queue.remove_first_where(|p| pick_ready(p, &banks_snapshot, stride, lpr))
-            });
+            .or_else(|| queue.remove_first_where(|p| pick_ready(p, &banks_snapshot, stride, lpr)));
         let Some(pending) = chosen else {
             return false;
         };
@@ -406,6 +407,50 @@ impl DramChannel {
         self.return_queue.observe();
     }
 
+    /// Batch bookkeeping for `cycles` consecutive cycles proven inactive
+    /// via [`next_event`](DramChannel::next_event).
+    pub fn observe_many(&mut self, cycles: u64) {
+        self.queue.observe_many(cycles);
+        self.write_queue.observe_many(cycles);
+        self.return_queue.observe_many(cycles);
+    }
+
+    /// The earliest cycle at or after `now` at which this channel can act:
+    /// land a completion, have a completed read drained by the fill path,
+    /// or schedule a queued request. `None` when the channel is idle.
+    ///
+    /// A queued request becomes schedulable at
+    /// `max(ready_at, bank.busy_until)`; before that cycle
+    /// [`tick`](DramChannel::tick) is a provable no-op, so the caller may
+    /// fast-forward across the gap.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.return_queue.is_empty() {
+            return Some(now);
+        }
+        let mut earliest: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            earliest = Some(match earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        };
+        if let Some(head) = self.completions.peek() {
+            if head.done_at <= now {
+                return Some(now);
+            }
+            fold(head.done_at);
+        }
+        for p in self.queue.iter().chain(self.write_queue.iter()) {
+            let (bank, _) = self.map_address(p.fetch.line);
+            let at = p.ready_at.max(self.banks[bank].busy_until);
+            if at <= now {
+                return Some(now);
+            }
+            fold(at);
+        }
+        earliest
+    }
+
     /// True if nothing is queued, scheduled or awaiting return.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
@@ -457,7 +502,11 @@ impl DramChannel {
 /// Drains every request currently inside `channel`, advancing time until
 /// idle; returns completed reads in completion order. Test helper shared by
 /// this crate's tests and the integration suite.
-pub fn drain_channel(channel: &mut DramChannel, mut now: Cycle, max_cycles: u64) -> (Vec<MemFetch>, Cycle) {
+pub fn drain_channel(
+    channel: &mut DramChannel,
+    mut now: Cycle,
+    max_cycles: u64,
+) -> (Vec<MemFetch>, Cycle) {
     let mut out = Vec::new();
     let mut waited = 0;
     while !channel.is_idle() && waited < max_cycles {
@@ -482,11 +531,21 @@ mod tests {
     }
 
     fn load(id: u64, line: u64) -> MemFetch {
-        MemFetch::new(FetchId::new(id), AccessKind::Load, LineAddr::new(line), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(id),
+            AccessKind::Load,
+            LineAddr::new(line),
+            CoreId::new(0),
+        )
     }
 
     fn store(id: u64, line: u64) -> MemFetch {
-        MemFetch::new(FetchId::new(id), AccessKind::Store, LineAddr::new(line), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(id),
+            AccessKind::Store,
+            LineAddr::new(line),
+            CoreId::new(0),
+        )
     }
 
     #[test]
@@ -496,10 +555,8 @@ mod tests {
         let (done, _) = drain_channel(&mut d, Cycle::ZERO, 10_000);
         assert_eq!(done.len(), 1);
         let cfg = GpuConfig::gtx480();
-        let expected = cfg.dram.controller_latency
-            + cfg.dram.t_rcd
-            + cfg.dram.t_cl
-            + cfg.dram_burst_cycles();
+        let expected =
+            cfg.dram.controller_latency + cfg.dram.t_rcd + cfg.dram.t_cl + cfg.dram_burst_cycles();
         let measured = d.service_latency().mean();
         // Completion lands within a couple of cycles of the analytic value
         // (tick-granularity rounding).
@@ -535,7 +592,10 @@ mod tests {
         let (_, t_conflict) = drain_channel(&mut d2, Cycle::ZERO, 10_000);
         assert_eq!(d2.stats().row_conflicts, 1);
 
-        assert!(t_conflict > t_same, "conflict {t_conflict} vs same-row {t_same}");
+        assert!(
+            t_conflict > t_same,
+            "conflict {t_conflict} vs same-row {t_same}"
+        );
     }
 
     #[test]
@@ -606,7 +666,8 @@ mod tests {
         let lines_per_row = cfg.dram.row_bytes / cfg.line_bytes;
         let mut d = channel();
         d.try_push(load(1, 0), Cycle::ZERO).unwrap();
-        d.try_push(load(2, stride * lines_per_row), Cycle::ZERO).unwrap(); // bank 1
+        d.try_push(load(2, stride * lines_per_row), Cycle::ZERO)
+            .unwrap(); // bank 1
         let (b1, _) = d.map_address(LineAddr::new(0));
         let (b2, _) = d.map_address(LineAddr::new(stride * lines_per_row));
         assert_ne!(b1, b2);
@@ -650,6 +711,25 @@ mod tests {
         }
         assert_eq!(got, 2);
         assert!(d.is_idle());
+    }
+
+    #[test]
+    fn next_event_skips_controller_latency_exactly() {
+        let mut d = channel();
+        assert_eq!(d.next_event(Cycle::new(5)), None);
+        d.try_push(load(1, 0), Cycle::new(5)).unwrap();
+        let ev = d.next_event(Cycle::new(5)).expect("queued work");
+        let ctrl = GpuConfig::gtx480().dram.controller_latency;
+        assert_eq!(ev, Cycle::new(5 + ctrl));
+        // Ticking strictly before the event changes nothing.
+        let stats_before = *d.stats();
+        d.tick(Cycle::new(5 + ctrl - 1));
+        assert_eq!(*d.stats(), stats_before);
+        // Ticking at the event schedules the request.
+        d.tick(ev);
+        assert_eq!(d.stats().reads, 1);
+        let next = d.next_event(ev).expect("completion pending");
+        assert!(next > ev, "completion lies in the future");
     }
 
     #[test]

@@ -8,7 +8,11 @@ use proptest::prelude::*;
 fn fetch(id: u64, line: u64, store: bool) -> MemFetch {
     MemFetch::new(
         FetchId::new(id),
-        if store { AccessKind::Store } else { AccessKind::Load },
+        if store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        },
         LineAddr::new(line),
         CoreId::new(0),
     )

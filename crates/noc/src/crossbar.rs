@@ -241,13 +241,60 @@ impl Crossbar {
         }
     }
 
+    /// Batch bookkeeping for `cycles` consecutive cycles during which no
+    /// packet moves (see `SimQueue::observe_many`). Callers prove such a
+    /// window via [`next_event`](Crossbar::next_event).
+    pub fn observe_many(&mut self, cycles: u64) {
+        for q in &mut self.inputs {
+            q.observe_many(cycles);
+        }
+        for out in &mut self.outputs {
+            out.ejection.observe_many(cycles);
+        }
+    }
+
+    /// The earliest cycle at or after `now` at which this crossbar can
+    /// move a packet or at which a receiver could drain one, or `None`
+    /// when it is completely empty.
+    ///
+    /// `Some(now)` whenever any input holds a packet (arbitration or a
+    /// credit stall happens this cycle), any output is mid-stream, any
+    /// delivered packet awaits a receiver, or an in-flight packet has
+    /// already arrived. Otherwise the only self-generated future event is
+    /// the earliest in-flight arrival (per-output FIFOs are
+    /// arrival-ordered, so the fronts suffice).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let busy_now = self.inputs.iter().any(|q| !q.is_empty())
+            || self
+                .outputs
+                .iter()
+                .any(|o| o.streaming.is_some() || !o.ejection.is_empty());
+        if busy_now {
+            return Some(now);
+        }
+        let mut earliest: Option<Cycle> = None;
+        for out in &self.outputs {
+            if let Some((arrive, _)) = out.in_flight.front() {
+                if *arrive <= now {
+                    return Some(now);
+                }
+                earliest = Some(match earliest {
+                    Some(e) if e <= *arrive => e,
+                    _ => *arrive,
+                });
+            }
+        }
+        earliest
+    }
+
     /// True if no packet is anywhere inside the crossbar (for liveness and
     /// conservation checks).
     pub fn is_idle(&self) -> bool {
         self.inputs.iter().all(|q| q.is_empty())
-            && self.outputs.iter().all(|o| {
-                o.streaming.is_none() && o.in_flight.is_empty() && o.ejection.is_empty()
-            })
+            && self
+                .outputs
+                .iter()
+                .all(|o| o.streaming.is_none() && o.in_flight.is_empty() && o.ejection.is_empty())
     }
 
     /// Number of packets currently inside the crossbar.
@@ -256,9 +303,7 @@ impl Crossbar {
             + self
                 .outputs
                 .iter()
-                .map(|o| {
-                    usize::from(o.streaming.is_some()) + o.in_flight.len() + o.ejection.len()
-                })
+                .map(|o| usize::from(o.streaming.is_some()) + o.in_flight.len() + o.ejection.len())
                 .sum::<usize>()
     }
 

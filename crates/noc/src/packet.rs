@@ -54,7 +54,12 @@ mod tests {
     use gpumem_types::{AccessKind, CoreId, FetchId, LineAddr};
 
     fn fetch() -> MemFetch {
-        MemFetch::new(FetchId::new(0), AccessKind::Load, LineAddr::new(0), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(0),
+            AccessKind::Load,
+            LineAddr::new(0),
+            CoreId::new(0),
+        )
     }
 
     #[test]

@@ -107,6 +107,18 @@ impl FixedLatencyMemory {
         self.pending.is_empty()
     }
 
+    /// Loads submitted but not yet returned.
+    pub fn pending_responses(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The earliest future cycle at which this backend can act: the due
+    /// time of the next pending response (clamped to `now` if already
+    /// due), or `None` when nothing is outstanding.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.pending.peek().map(|d| d.at.max(now))
+    }
+
     /// Loads answered so far.
     pub fn loads_served(&self) -> u64 {
         self.loads_served
@@ -151,6 +163,17 @@ mod tests {
         assert!(m.is_idle());
         assert_eq!(m.stores_sunk(), 1);
         assert_eq!(m.loads_served(), 0);
+    }
+
+    #[test]
+    fn next_event_tracks_pending_head() {
+        let mut m = FixedLatencyMemory::new(30);
+        assert_eq!(m.next_event(Cycle::new(5)), None);
+        m.submit(fetch(1, AccessKind::Load), Cycle::new(10));
+        assert_eq!(m.next_event(Cycle::new(11)), Some(Cycle::new(40)));
+        // Already due: clamps to now, never the past.
+        assert_eq!(m.next_event(Cycle::new(100)), Some(Cycle::new(100)));
+        assert_eq!(m.pending_responses(), 1);
     }
 
     #[test]

@@ -4,13 +4,14 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gpumem_config::GpuConfig;
 use gpumem_noc::{Crossbar, Packet};
 use gpumem_simt::{KernelProgram, SimtCore};
 use gpumem_types::{CtaId, Cycle, PartitionId};
 
-use crate::report::build_report;
+use crate::report::{build_report, HostPerf};
 use crate::{FixedLatencyMemory, MemoryPartition, SimReport};
 
 /// Which memory system sits below the L1s.
@@ -87,6 +88,8 @@ pub struct GpuSimulator {
     next_cta: u32,
     responses_delivered: u64,
     requests_injected: u64,
+    stepped_cycles: u64,
+    skipped_cycles: u64,
 }
 
 impl fmt::Debug for GpuSimulator {
@@ -116,7 +119,13 @@ impl GpuSimulator {
             cfg.core.max_warps
         );
         let cores = (0..cfg.num_cores)
-            .map(|i| SimtCore::new(gpumem_types::CoreId::new(i as u32), &cfg, Arc::clone(&program)))
+            .map(|i| {
+                SimtCore::new(
+                    gpumem_types::CoreId::new(i as u32),
+                    &cfg,
+                    Arc::clone(&program),
+                )
+            })
             .collect();
         let backend = match mode {
             MemoryMode::Hierarchy => Backend::Hierarchy {
@@ -126,9 +135,7 @@ impl GpuSimulator {
                     .map(|p| MemoryPartition::new(PartitionId::new(p as u32), &cfg))
                     .collect(),
             },
-            MemoryMode::FixedLatency(latency) => {
-                Backend::Fixed(FixedLatencyMemory::new(latency))
-            }
+            MemoryMode::FixedLatency(latency) => Backend::Fixed(FixedLatencyMemory::new(latency)),
         };
         GpuSimulator {
             cfg,
@@ -140,6 +147,8 @@ impl GpuSimulator {
             next_cta: 0,
             responses_delivered: 0,
             requests_injected: 0,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -153,13 +162,44 @@ impl GpuSimulator {
         self.now
     }
 
-    /// Runs until the kernel completes and the memory system drains.
+    /// Runs until the kernel completes and the memory system drains,
+    /// fast-forwarding across cycles in which no component can act (see
+    /// [`next_event`](GpuSimulator::next_event)). The skipping is
+    /// observationally invisible: every [`SimReport`] field except the
+    /// host-side [`SimReport::host`] block is bit-identical to
+    /// [`run_stepped`](GpuSimulator::run_stepped).
     ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] if completion is not reached within
     /// `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        self.run_inner(max_cycles, true)
+    }
+
+    /// Runs strictly cycle by cycle, never skipping. This is the reference
+    /// semantics that [`run`](GpuSimulator::run) must reproduce exactly;
+    /// the differential test suite executes every benchmark both ways and
+    /// compares the reports bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run_stepped(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        self.run_inner(max_cycles, false)
+    }
+
+    fn run_inner(&mut self, max_cycles: u64, skip: bool) -> Result<SimReport, SimError> {
+        let wall_start = Instant::now();
+        // Computing the global horizon touches every warp and queue, so a
+        // busy machine would pay that scan each cycle for nothing. Back
+        // off exponentially (2..=32 cycles) while attempts fail; one
+        // successful jump resets to attempting every cycle. Stepping
+        // through a skippable cycle is the reference semantics anyway, so
+        // attempt timing affects only wall clock, never results.
+        let mut backoff: u32 = 0;
+        let mut failed_attempts: u32 = 0;
         while !self.is_done() {
             if self.now.raw() >= max_cycles {
                 return Err(SimError::Watchdog {
@@ -169,13 +209,164 @@ impl GpuSimulator {
                 });
             }
             self.step();
+            if skip && !self.is_done() {
+                if backoff > 0 {
+                    backoff -= 1;
+                    continue;
+                }
+                // Jump to the event horizon, clamped so the watchdog above
+                // still fires at exactly `max_cycles`. A `None` horizon
+                // with work outstanding is a wedged machine: skip straight
+                // to the watchdog (each skipped cycle is provably a
+                // stall, so the counters remain exact).
+                let horizon = self
+                    .next_event()
+                    .map_or(max_cycles, |h| h.raw())
+                    .min(max_cycles);
+                if horizon > self.now.raw() {
+                    self.fast_forward_to(Cycle::new(horizon));
+                    failed_attempts = 0;
+                } else {
+                    failed_attempts = (failed_attempts + 1).min(5);
+                    backoff = 1 << failed_attempts;
+                }
+            }
         }
         debug_assert_eq!(
             self.responses_delivered,
             self.expected_responses(),
             "every load request must receive exactly one response"
         );
-        Ok(self.report())
+        let wall = wall_start.elapsed().as_secs_f64();
+        let mut report = self.report();
+        report.host = Some(HostPerf {
+            wall_seconds: wall,
+            cycles_per_sec: if wall > 0.0 {
+                self.now.raw() as f64 / wall
+            } else {
+                0.0
+            },
+            stepped_cycles: self.stepped_cycles,
+            skipped_cycles: self.skipped_cycles,
+            skipped_fraction: if self.now.raw() > 0 {
+                self.skipped_cycles as f64 / self.now.raw() as f64
+            } else {
+                0.0
+            },
+        });
+        Ok(report)
+    }
+
+    /// The earliest cycle at or after [`now`](GpuSimulator::now) at which
+    /// any component can make progress, or `None` when the whole machine
+    /// is quiescent. Never returns a cycle in the past.
+    ///
+    /// When the returned cycle lies strictly in the future, every cycle
+    /// before it is provably inert — no queue moves, no instruction
+    /// issues, no response lands — and
+    /// [`fast_forward_to`](GpuSimulator::fast_forward_to) may jump the
+    /// clock there directly.
+    pub fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        // Undispatched CTAs land on any core with room this very cycle.
+        if self.next_cta < self.program.grid_ctas() && self.cores.iter().any(|c| c.can_accept_cta())
+        {
+            return Some(now);
+        }
+        let mut earliest: Option<Cycle> = None;
+        let fold = |ev: Option<Cycle>, earliest: &mut Option<Cycle>| -> bool {
+            match ev {
+                Some(t) if t <= now => true,
+                Some(t) => {
+                    *earliest = Some(match *earliest {
+                        Some(e) if e <= t => e,
+                        _ => t,
+                    });
+                    false
+                }
+                None => false,
+            }
+        };
+        for core in &self.cores {
+            if fold(core.next_event(now), &mut earliest) {
+                return Some(now);
+            }
+        }
+        match &self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                if fold(req_xbar.next_event(now), &mut earliest)
+                    || fold(resp_xbar.next_event(now), &mut earliest)
+                {
+                    return Some(now);
+                }
+                for p in partitions {
+                    if fold(p.next_event(now), &mut earliest) {
+                        return Some(now);
+                    }
+                }
+            }
+            Backend::Fixed(mem) => {
+                if fold(mem.next_event(now), &mut earliest) {
+                    return Some(now);
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Jumps the clock to `target`, replaying the per-cycle accounting of
+    /// the skipped cycles in closed form (cycle counts, stall
+    /// classification, queue-occupancy statistics).
+    ///
+    /// The caller must have proven via
+    /// [`next_event`](GpuSimulator::next_event) that no component can act
+    /// before `target`; [`run`](GpuSimulator::run) is the canonical
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past.
+    pub fn fast_forward_to(&mut self, target: Cycle) {
+        assert!(target >= self.now, "cannot fast-forward into the past");
+        let cycles = target.raw() - self.now.raw();
+        if cycles == 0 {
+            return;
+        }
+        let now = self.now;
+        for core in &mut self.cores {
+            core.fast_forward(now, cycles);
+        }
+        match &mut self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                for p in partitions.iter_mut() {
+                    p.fast_forward(now, cycles);
+                }
+                req_xbar.observe_many(cycles);
+                resp_xbar.observe_many(cycles);
+            }
+            Backend::Fixed(_) => {}
+        }
+        self.skipped_cycles += cycles;
+        self.now = target;
+    }
+
+    /// Cycles advanced one at a time by [`step`](GpuSimulator::step).
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped_cycles
+    }
+
+    /// Cycles crossed in bulk by
+    /// [`fast_forward_to`](GpuSimulator::fast_forward_to).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Advances the whole system by one cycle.
@@ -206,15 +397,12 @@ impl GpuSimulator {
                     // accepts.
                     while core.peek_memory_request().is_some() && req_xbar.can_inject(c) {
                         let mut fetch = core.pop_memory_request().expect("peeked");
-                        let part =
-                            (fetch.line.index() % self.cfg.num_partitions as u64) as usize;
+                        let part = (fetch.line.index() % self.cfg.num_partitions as u64) as usize;
                         fetch.partition = Some(PartitionId::new(part as u32));
                         fetch.timeline.icnt_inject = Some(now);
                         let bytes = fetch.request_bytes(self.cfg.line_bytes);
                         let pkt = Packet::new(fetch, part, bytes, self.cfg.noc.flit_bytes);
-                        req_xbar
-                            .try_inject(c, pkt)
-                            .expect("can_inject checked");
+                        req_xbar.try_inject(c, pkt).expect("can_inject checked");
                         self.requests_injected += 1;
                     }
                     core.observe();
@@ -244,6 +432,7 @@ impl GpuSimulator {
             }
         }
 
+        self.stepped_cycles += 1;
         self.now = self.now.next();
     }
 
@@ -281,9 +470,7 @@ impl GpuSimulator {
                 resp_xbar,
                 partitions,
             } => {
-                req_xbar.is_idle()
-                    && resp_xbar.is_idle()
-                    && partitions.iter().all(|p| p.is_idle())
+                req_xbar.is_idle() && resp_xbar.is_idle() && partitions.iter().all(|p| p.is_idle())
             }
             Backend::Fixed(mem) => mem.is_idle(),
         }
@@ -314,14 +501,9 @@ impl GpuSimulator {
                 "{} partitions busy",
                 partitions.iter().filter(|p| !p.is_idle()).count()
             ),
-            Backend::Fixed(mem) => format!("{} responses pending", {
-                let _ = mem;
-                if mem.is_idle() {
-                    0
-                } else {
-                    1
-                }
-            }),
+            Backend::Fixed(mem) => {
+                format!("{} responses pending", mem.pending_responses())
+            }
         };
         format!(
             "{}/{} CTAs dispatched, {} cores pending, {}",

@@ -61,7 +61,7 @@ mod report;
 pub use fixed::FixedLatencyMemory;
 pub use gpu::{GpuSimulator, MemoryMode, SimError};
 pub use partition::{L2Stats, MemoryPartition};
-pub use report::{DramReport, L1Report, L2Report, NocReport, SimReport};
+pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
 
 // The kernel abstraction is part of this crate's public API (every
 // constructor takes one), so re-export it for downstream convenience.

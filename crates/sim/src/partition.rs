@@ -226,10 +226,7 @@ impl MemoryPartition {
     fn drain_dram_returns(&mut self) {
         while !self.response_queue.is_full() {
             match self.dram.pop_return() {
-                Some(f) => self
-                    .response_queue
-                    .push(f)
-                    .expect("fullness checked above"),
+                Some(f) => self.response_queue.push(f).expect("fullness checked above"),
                 None => break,
             }
         }
@@ -264,9 +261,8 @@ impl MemoryPartition {
         match self.tags[bank].fill(set, line, now) {
             ReplacementOutcome::Evicted(e) if e.dirty => {
                 // Writeback ids: top bit set, partition in bits 40..63.
-                let wb_id = FetchId::new(
-                    (1 << 63) | ((self.id.index() as u64) << 40) | self.next_wb_seq,
-                );
+                let wb_id =
+                    FetchId::new((1 << 63) | ((self.id.index() as u64) << 40) | self.next_wb_seq);
                 self.next_wb_seq += 1;
                 let wb = MemFetch::new_writeback(wb_id, e.line, self.id);
                 self.stats.writebacks += 1;
@@ -447,6 +443,92 @@ impl MemoryPartition {
         self.response_queue.observe();
         self.to_icnt.observe();
         self.dram.observe();
+    }
+
+    /// The earliest cycle at or after `now` at which this partition can do
+    /// anything other than repeat a head-of-queue bank-busy stall, or
+    /// `None` when it is completely idle.
+    ///
+    /// Every path through [`cycle`](MemoryPartition::cycle) that moves a
+    /// request or bumps a stall counter other than
+    /// [`L2Stats::stall_bank_busy`] forces a return of `now`; the only
+    /// deferred candidates are timer expiries (bank completions, the bank
+    /// pipeline, the response port, DRAM timing) plus the bank-busy window
+    /// of the access-queue head, whose per-cycle stall accounting
+    /// [`fast_forward`](MemoryPartition::fast_forward) replays in closed
+    /// form.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A non-empty response, miss or writeback queue can interact with
+        // fill installs or the DRAM queues this very cycle.
+        if !self.response_queue.is_empty()
+            || !self.miss_queue.is_empty()
+            || !self.wb_queue.is_empty()
+        {
+            return Some(now);
+        }
+        let mut earliest: Option<Cycle> = None;
+        let fold = |t: Cycle, earliest: &mut Option<Cycle>| {
+            *earliest = Some(match *earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        };
+        if let Some(head) = self.completions.peek() {
+            if head.done_at <= now {
+                return Some(now);
+            }
+            fold(head.done_at, &mut earliest);
+        }
+        if let Some(head) = self.access_queue.front() {
+            let (bank, _) = self.map(head.line);
+            let free_at = self.bank_next_accept[bank];
+            if free_at <= now {
+                return Some(now);
+            }
+            fold(free_at, &mut earliest);
+        }
+        if let Some((ready, _)) = self.miss_pipeline.front() {
+            if *ready <= now {
+                return Some(now);
+            }
+            fold(*ready, &mut earliest);
+        }
+        if !self.to_icnt.is_empty() {
+            if self.port_free_at <= now {
+                return Some(now);
+            }
+            fold(self.port_free_at, &mut earliest);
+        }
+        match self.dram.next_event(now) {
+            Some(t) if t <= now => return Some(now),
+            Some(t) => fold(t, &mut earliest),
+            None => {}
+        }
+        earliest
+    }
+
+    /// Replays `cycles` consecutive cycles proven inactive via
+    /// [`next_event`](MemoryPartition::next_event): advances queue and
+    /// DRAM occupancy statistics, and accounts the per-cycle bank-busy
+    /// stall of a waiting access-queue head.
+    pub fn fast_forward(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if let Some(head) = self.access_queue.front() {
+            let (bank, _) = self.map(head.line);
+            debug_assert!(
+                self.bank_next_accept[bank] > now,
+                "skipped window must start inside a bank-busy stall"
+            );
+            self.stats.stall_bank_busy += cycles;
+        }
+        self.access_queue.observe_many(cycles);
+        self.miss_queue.observe_many(cycles);
+        self.wb_queue.observe_many(cycles);
+        self.response_queue.observe_many(cycles);
+        self.to_icnt.observe_many(cycles);
+        self.dram.observe_many(cycles);
     }
 
     /// True when no request is anywhere inside the partition or its DRAM.

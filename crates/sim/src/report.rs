@@ -65,6 +65,27 @@ pub struct NocReport {
     pub response_inputs: QueueStats,
 }
 
+/// Host-side (wall-clock) performance of one simulation run.
+///
+/// This is metadata about the simulator, not the simulated machine: two
+/// runs of the same simulation legitimately differ here, so any
+/// determinism or differential comparison must ignore (or `None` out) the
+/// [`SimReport::host`] field before comparing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostPerf {
+    /// Wall-clock seconds the run took on the host.
+    pub wall_seconds: f64,
+    /// Simulated cycles per host second (`cycles / wall_seconds`).
+    pub cycles_per_sec: f64,
+    /// Cycles advanced one at a time through the full per-cycle loop.
+    pub stepped_cycles: u64,
+    /// Cycles crossed in bulk by event-horizon fast-forwarding.
+    pub skipped_cycles: u64,
+    /// `skipped_cycles / cycles` — how much of the simulated time was
+    /// provably inert and skipped.
+    pub skipped_fraction: f64,
+}
+
 /// Everything measured in one simulation run.
 ///
 /// Serializable so the repro harness can persist raw results next to
@@ -91,6 +112,9 @@ pub struct SimReport {
     pub dram: Option<DramReport>,
     /// Interconnect aggregates (absent in fixed-latency mode).
     pub noc: Option<NocReport>,
+    /// Host-side throughput of the run (absent for mid-run snapshots;
+    /// excluded from determinism comparisons).
+    pub host: Option<HostPerf>,
 }
 
 impl SimReport {
@@ -121,8 +145,7 @@ impl SimReport {
         if self.core.cycles == 0 {
             0.0
         } else {
-            (self.core.stall_memory + self.core.stall_mem_pipeline) as f64
-                / self.core.cycles as f64
+            (self.core.stall_memory + self.core.stall_mem_pipeline) as f64 / self.core.cycles as f64
         }
     }
 }
@@ -196,6 +219,7 @@ pub(crate) fn build_report(
         l2,
         dram,
         noc,
+        host: None,
     }
 }
 
@@ -216,6 +240,7 @@ mod tests {
             l2: None,
             dram: None,
             noc: None,
+            host: None,
         };
         assert_eq!(r.avg_l1_miss_latency(), 0.0);
         assert_eq!(r.l2_access_queue_full_fraction(), None);
@@ -236,11 +261,19 @@ mod tests {
             l2: Some(L2Report::default()),
             dram: Some(DramReport::default()),
             noc: None,
+            host: Some(HostPerf {
+                wall_seconds: 0.25,
+                cycles_per_sec: 40.0,
+                stepped_cycles: 6,
+                skipped_cycles: 4,
+                skipped_fraction: 0.4,
+            }),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: SimReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.benchmark, "x");
         assert_eq!(back.cycles, 10);
         assert!(back.l2.is_some());
+        assert_eq!(back.host.as_ref().map(|h| h.skipped_cycles), Some(4));
     }
 }

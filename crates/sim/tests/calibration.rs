@@ -61,8 +61,8 @@ fn unloaded_l2_hit_round_trip_is_about_120_cycles() {
     let cfg = GpuConfig::gtx480();
     let sets = cfg.l1.sets as u64; // 32
     let parts = cfg.num_partitions as u64; // 6
-    // Lines that alias in L1 (stride = sets) *and* hit the same partition
-    // (stride multiple of num_partitions): stride = lcm(32, 6) = 96.
+                                           // Lines that alias in L1 (stride = sets) *and* hit the same partition
+                                           // (stride multiple of num_partitions): stride = lcm(32, 6) = 96.
     let stride = sets * parts / gcd(sets, parts);
     let mut lines: Vec<LineAddr> = (0..6).map(|i| LineAddr::new(i * stride)).collect();
     lines.push(LineAddr::new(0)); // re-load the first line: L1 miss, L2 hit

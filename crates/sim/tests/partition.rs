@@ -103,7 +103,12 @@ fn load(id: u64, line: u64, core: u32) -> MemFetch {
 }
 
 fn store(id: u64, line: u64) -> MemFetch {
-    let mut f = MemFetch::new(FetchId::new(id), AccessKind::Store, LineAddr::new(line), CoreId::new(0));
+    let mut f = MemFetch::new(
+        FetchId::new(id),
+        AccessKind::Store,
+        LineAddr::new(line),
+        CoreId::new(0),
+    );
     f.partition = Some(PartitionId::new(0));
     f
 }
@@ -186,7 +191,10 @@ fn bank_conflicts_are_counted() {
     rig.send(load(3, 0, 0));
     rig.send(load(4, banks * 64, 1));
     rig.drain(20_000);
-    assert!(rig.part.stats().stall_bank_busy > 0, "expected bank-conflict stalls");
+    assert!(
+        rig.part.stats().stall_bank_busy > 0,
+        "expected bank-conflict stalls"
+    );
 }
 
 #[test]

@@ -27,7 +27,9 @@ impl KernelProgram for Torture {
         let g = u64::from(cta.index() as u32 * 4 + warp);
         match pc % 6 {
             0 => Some(WarpInstr::Load {
-                lines: (0..4).map(|j| LineAddr::new((g * 131 + j * 977) % 4096)).collect(),
+                lines: (0..4)
+                    .map(|j| LineAddr::new((g * 131 + j * 977) % 4096))
+                    .collect(),
                 consume_after: 1,
             }),
             1 => Some(WarpInstr::Alu { latency: 2 }),
@@ -133,7 +135,9 @@ fn extreme_divergence_thirty_two_lines_per_load() {
             let g = u64::from(cta.index() as u32 * 2 + warp);
             match pc {
                 0 | 1 => Some(WarpInstr::Load {
-                    lines: (0..32).map(|j| LineAddr::new(g * 10_000 + j * 173)).collect(),
+                    lines: (0..32)
+                        .map(|j| LineAddr::new(g * 10_000 + j * 173))
+                        .collect(),
                     consume_after: 1,
                 }),
                 2 => Some(WarpInstr::Alu { latency: 1 }),

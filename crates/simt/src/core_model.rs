@@ -187,8 +187,7 @@ impl SimtCore {
     /// warp slots).
     pub fn can_accept_cta(&self) -> bool {
         let free_warps = self.warps.iter().filter(|w| !w.assigned).count();
-        self.ctas.iter().any(|c| c.is_none())
-            && free_warps >= self.program.warps_per_cta() as usize
+        self.ctas.iter().any(|c| c.is_none()) && free_warps >= self.program.warps_per_cta() as usize
     }
 
     /// Places CTA `cta` onto this core.
@@ -336,9 +335,7 @@ impl SimtCore {
         if let Some(reg) = &mut self.issue_reg {
             if !self.lsu_queue.is_full() {
                 if let Some(access) = reg.accesses.pop_front() {
-                    self.lsu_queue
-                        .push(access)
-                        .expect("fullness checked above");
+                    self.lsu_queue.push(access).expect("fullness checked above");
                 }
             }
             if reg.accesses.is_empty() {
@@ -394,10 +391,7 @@ impl SimtCore {
             let instr = self.program.instr(warp.cta, warp.warp_in_cta, warp.pc);
             self.warps[w].decoded = Some(instr);
         }
-        let decoded = self.warps[w]
-            .decoded
-            .as_ref()
-            .expect("filled just above");
+        let decoded = self.warps[w].decoded.as_ref().expect("filled just above");
 
         match decoded {
             None => {
@@ -439,7 +433,10 @@ impl SimtCore {
                 self.maybe_release_barrier(cta_slot);
                 true
             }
-            Some(WarpInstr::Load { lines, consume_after }) => {
+            Some(WarpInstr::Load {
+                lines,
+                consume_after,
+            }) => {
                 if self.issue_reg.is_some() {
                     return false; // memory pipeline busy; decoded stays cached
                 }
@@ -450,12 +447,8 @@ impl SimtCore {
                 let tag = self.warps[w].post_load(consume_after, lines.len() as u32);
                 let mut accesses = VecDeque::with_capacity(lines.len());
                 for line in lines {
-                    let mut f = MemFetch::new(
-                        self.next_fetch_id(),
-                        AccessKind::Load,
-                        line,
-                        self.id,
-                    );
+                    let mut f =
+                        MemFetch::new(self.next_fetch_id(), AccessKind::Load, line, self.id);
                     f.warp_slot = w as u32;
                     f.load_tag = tag;
                     f.timeline.issued = Some(now);
@@ -477,12 +470,8 @@ impl SimtCore {
                 self.warps[w].decoded = None;
                 let mut accesses = VecDeque::with_capacity(lines.len());
                 for line in lines {
-                    let mut f = MemFetch::new(
-                        self.next_fetch_id(),
-                        AccessKind::Store,
-                        line,
-                        self.id,
-                    );
+                    let mut f =
+                        MemFetch::new(self.next_fetch_id(), AccessKind::Store, line, self.id);
                     f.warp_slot = w as u32;
                     f.timeline.issued = Some(now);
                     accesses.push_back(f);
@@ -536,6 +525,15 @@ impl SimtCore {
     }
 
     fn classify_stall(&mut self, now: Cycle) {
+        self.classify_stall_many(now, 1);
+    }
+
+    /// Records `weight` stalled cycles under the classification that holds
+    /// at `now`. The classification is constant over a window proven idle
+    /// by [`next_event`](SimtCore::next_event): the memory/barrier flags
+    /// only change on issue or response events, and every eligible warp's
+    /// `ready_at` lies at or beyond the window end.
+    fn classify_stall_many(&mut self, now: Cycle, weight: u64) {
         let mut any_assigned = false;
         let mut mem_blocked = false;
         let mut barrier = false;
@@ -556,16 +554,68 @@ impl SimtCore {
             }
         }
         if mem_blocked {
-            self.stats.stall_memory += 1;
+            self.stats.stall_memory += weight;
         } else if any_assigned && self.issue_reg.is_some() {
-            self.stats.stall_mem_pipeline += 1;
+            self.stats.stall_mem_pipeline += weight;
         } else if barrier {
-            self.stats.stall_barrier += 1;
+            self.stats.stall_barrier += weight;
         } else if compute {
-            self.stats.stall_compute += 1;
+            self.stats.stall_compute += weight;
         } else {
-            self.stats.idle_cycles += 1;
+            self.stats.idle_cycles += weight;
         }
+    }
+
+    /// The earliest cycle at or after `now` at which this core can make
+    /// progress on its own (issue an instruction, retire a warp, feed the
+    /// L1 port, or surface a completed hit), or `None` if it is fully
+    /// quiescent until an external response arrives.
+    ///
+    /// A return value of `now` means "cannot skip this cycle". A future
+    /// cycle is a proof that every cycle strictly before it changes
+    /// nothing but per-cycle counters, which
+    /// [`fast_forward`](SimtCore::fast_forward) replays in closed form.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.l1.peek_miss().is_some()
+            || self.l1_retry.is_some()
+            || !self.lsu_queue.is_empty()
+            || self.issue_reg.is_some()
+        {
+            return Some(now);
+        }
+        let mut earliest = self.l1.next_ready_hit();
+        if earliest.is_some_and(|t| t <= now) {
+            return Some(now);
+        }
+        for w in &self.warps {
+            if !w.assigned || w.finished || w.at_barrier || w.blocked_on_memory() {
+                continue;
+            }
+            if w.ready_at <= now {
+                return Some(now);
+            }
+            earliest = Some(match earliest {
+                Some(e) if e <= w.ready_at => e,
+                _ => w.ready_at,
+            });
+        }
+        earliest
+    }
+
+    /// Replays `cycles` consecutive stalled cycles in closed form,
+    /// starting at `now`. The caller must have proven via
+    /// [`next_event`](SimtCore::next_event) that the core cannot act
+    /// before `now + cycles`; counters advance exactly as if
+    /// [`cycle`](SimtCore::cycle) and [`observe`](SimtCore::observe) had
+    /// run for each skipped cycle.
+    pub fn fast_forward(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.stats.cycles += cycles;
+        self.classify_stall_many(now, cycles);
+        self.l1.observe_many(cycles);
+        self.lsu_queue.observe_many(cycles);
     }
 
     /// Per-cycle statistics bookkeeping.

@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn load_line_builds_single_access() {
         match WarpInstr::load_line(LineAddr::new(9), 3) {
-            WarpInstr::Load { lines, consume_after } => {
+            WarpInstr::Load {
+                lines,
+                consume_after,
+            } => {
                 assert_eq!(lines, vec![LineAddr::new(9)]);
                 assert_eq!(consume_after, 3);
             }

@@ -62,7 +62,7 @@ impl WarpSlot {
             finished: false,
             assigned: false,
             age: 0,
-        decoded: None,
+            decoded: None,
         }
     }
 

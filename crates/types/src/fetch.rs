@@ -198,7 +198,11 @@ impl MemFetch {
 
 impl fmt::Display for MemFetch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{} {} from {}]", self.id, self.kind, self.line, self.core)
+        write!(
+            f,
+            "{}[{} {} from {}]",
+            self.id, self.kind, self.line, self.core
+        )
     }
 }
 
@@ -207,7 +211,12 @@ mod tests {
     use super::*;
 
     fn load() -> MemFetch {
-        MemFetch::new(FetchId::new(1), AccessKind::Load, LineAddr::new(2), CoreId::new(0))
+        MemFetch::new(
+            FetchId::new(1),
+            AccessKind::Load,
+            LineAddr::new(2),
+            CoreId::new(0),
+        )
     }
 
     #[test]
@@ -216,7 +225,12 @@ mod tests {
         assert_eq!(f.request_bytes(128), 8);
         assert_eq!(f.response_bytes(128), Some(136));
 
-        let s = MemFetch::new(FetchId::new(2), AccessKind::Store, LineAddr::new(2), CoreId::new(0));
+        let s = MemFetch::new(
+            FetchId::new(2),
+            AccessKind::Store,
+            LineAddr::new(2),
+            CoreId::new(0),
+        );
         assert_eq!(s.request_bytes(128), 136);
         assert_eq!(s.response_bytes(128), None);
     }

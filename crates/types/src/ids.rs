@@ -77,9 +77,7 @@ id_newtype!(
 /// assert_eq!(w.core, CoreId::new(3));
 /// assert_eq!(w.slot, 12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WarpId {
     /// The core the warp runs on.
     pub core: CoreId,

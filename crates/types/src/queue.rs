@@ -244,6 +244,22 @@ impl<T> SimQueue<T> {
         }
     }
 
+    /// Records `cycles` consecutive observations during which the queue's
+    /// contents are known not to change (used by event-horizon skipping to
+    /// fast-forward idle stretches). Equivalent to calling
+    /// [`observe`](SimQueue::observe) `cycles` times.
+    pub fn observe_many(&mut self, cycles: u64) {
+        self.stats.ticks += cycles;
+        let len = self.items.len() as u64;
+        self.stats.occupancy_sum += len * cycles;
+        if len > 0 {
+            self.stats.ticks_nonempty += cycles;
+        }
+        if self.is_full() {
+            self.stats.ticks_full += cycles;
+        }
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &QueueStats {
         &self.stats
@@ -299,6 +315,21 @@ mod tests {
         assert!((s.full_fraction_of_usage() - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.full_fraction_of_total() - 0.5).abs() < 1e-12);
         assert!((s.mean_occupancy() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_many_matches_repeated_observe() {
+        let mut a = SimQueue::new("a", 2);
+        let mut b = SimQueue::new("b", 2);
+        for q in [&mut a, &mut b] {
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+        }
+        for _ in 0..7 {
+            a.observe();
+        }
+        b.observe_many(7);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl WorkloadParams {
     /// inverted coalescing bounds, or an out-of-range reuse fraction.
     pub fn validate(&self) {
         assert!(self.ctas > 0, "{}: ctas must be positive", self.name);
-        assert!(self.warps_per_cta > 0, "{}: warps_per_cta must be positive", self.name);
+        assert!(
+            self.warps_per_cta > 0,
+            "{}: warps_per_cta must be positive",
+            self.name
+        );
         assert!(self.iters > 0, "{}: iters must be positive", self.name);
         assert!(
             self.instrs_per_iter() > 0,
@@ -169,7 +173,11 @@ impl WorkloadParams {
             "{}: coalescing bounds invalid",
             self.name
         );
-        assert!(self.lines_per_load_max <= 32, "{}: a warp has 32 lanes", self.name);
+        assert!(
+            self.lines_per_load_max <= 32,
+            "{}: a warp has 32 lanes",
+            self.name
+        );
         assert!(
             (0.0..=1.0).contains(&self.reuse_fraction),
             "{}: reuse fraction out of range",
@@ -180,7 +188,11 @@ impl WorkloadParams {
             "{}: L1 reuse fraction out of range",
             self.name
         );
-        assert!(self.working_set_lines > 0, "{}: empty working set", self.name);
+        assert!(
+            self.working_set_lines > 0,
+            "{}: empty working set",
+            self.name
+        );
         assert!(self.hot_lines > 0, "{}: empty hot region", self.name);
         if let Some(n) = self.barrier_every {
             assert!(n > 0, "{}: barrier_every must be positive", self.name);

@@ -13,9 +13,7 @@ use gpumem_simt::KernelProgram;
 use crate::{AccessPattern, SyntheticKernel, WorkloadParams};
 
 /// The benchmark names, in the paper's Fig. 1 legend order.
-pub const BENCHMARK_NAMES: [&str; 8] = [
-    "cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss",
-];
+pub const BENCHMARK_NAMES: [&str; 8] = ["cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"];
 
 /// Rodinia `cfd` (Euler3D): unstructured-grid CFD solver. Neighbour
 /// gathers give poorly-coalesced, memory-intensive behaviour with moderate

@@ -91,8 +91,7 @@ impl SyntheticKernel {
                         (base * k + j) % p.working_set_lines
                     }
                     AccessPattern::Strided { stride } => {
-                        let base = (g + u64::from(iter) * 131) * stride
-                            + u64::from(slot) * 17;
+                        let base = (g + u64::from(iter) * 131) * stride + u64::from(slot) * 17;
                         (base + j * stride) % p.working_set_lines
                     }
                     AccessPattern::Gather => rng.gen_range(p.working_set_lines),
@@ -117,8 +116,7 @@ impl SyntheticKernel {
     /// space).
     fn store_lines(&self, g: u64, iter: u32, slot: u32) -> Vec<LineAddr> {
         let p = &self.params;
-        let base = (g * u64::from(p.iters) + u64::from(iter))
-            * u64::from(p.stores_per_iter.max(1))
+        let base = (g * u64::from(p.iters) + u64::from(iter)) * u64::from(p.stores_per_iter.max(1))
             + u64::from(slot);
         vec![LineAddr::new(
             p.working_set_lines + base % p.working_set_lines,
@@ -228,10 +226,16 @@ mod tests {
         let p = k.params();
         // First loads, then ALU, then stores (no shared configured).
         for pc in 0..p.loads_per_iter {
-            assert!(matches!(k.instr(CtaId::new(0), 0, pc), Some(WarpInstr::Load { .. })));
+            assert!(matches!(
+                k.instr(CtaId::new(0), 0, pc),
+                Some(WarpInstr::Load { .. })
+            ));
         }
         for pc in p.loads_per_iter..p.loads_per_iter + p.alu_per_iter {
-            assert!(matches!(k.instr(CtaId::new(0), 0, pc), Some(WarpInstr::Alu { .. })));
+            assert!(matches!(
+                k.instr(CtaId::new(0), 0, pc),
+                Some(WarpInstr::Alu { .. })
+            ));
         }
         let store_pc = p.loads_per_iter + p.alu_per_iter;
         assert!(matches!(
@@ -277,7 +281,11 @@ mod tests {
                     let mut sorted = lines.clone();
                     sorted.sort_unstable();
                     sorted.dedup();
-                    assert_eq!(sorted.len(), lines.len(), "duplicate lines in coalesced load");
+                    assert_eq!(
+                        sorted.len(),
+                        lines.len(),
+                        "duplicate lines in coalesced load"
+                    );
                 }
             }
         }
@@ -300,8 +308,14 @@ mod tests {
         let k = SyntheticKernel::new(p);
         let body = k.params().instrs_per_iter();
         assert_eq!(body, 3);
-        assert!(matches!(k.instr(CtaId::new(0), 0, 2), Some(WarpInstr::Barrier)));
-        assert!(matches!(k.instr(CtaId::new(0), 0, 5), Some(WarpInstr::Barrier)));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 2),
+            Some(WarpInstr::Barrier)
+        ));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 5),
+            Some(WarpInstr::Barrier)
+        ));
     }
 
     #[test]
@@ -315,9 +329,21 @@ mod tests {
         assert_eq!(k.params().instrs_per_iter(), 3);
         // Iterations 0, 2 (1-indexed: 1, 3) carry the filler; 1, 3 carry
         // the barrier.
-        assert!(matches!(k.instr(CtaId::new(0), 0, 2), Some(WarpInstr::Alu { .. })));
-        assert!(matches!(k.instr(CtaId::new(0), 0, 5), Some(WarpInstr::Barrier)));
-        assert!(matches!(k.instr(CtaId::new(0), 0, 8), Some(WarpInstr::Alu { .. })));
-        assert!(matches!(k.instr(CtaId::new(0), 0, 11), Some(WarpInstr::Barrier)));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 2),
+            Some(WarpInstr::Alu { .. })
+        ));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 5),
+            Some(WarpInstr::Barrier)
+        ));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 8),
+            Some(WarpInstr::Alu { .. })
+        ));
+        assert!(matches!(
+            k.instr(CtaId::new(0), 0, 11),
+            Some(WarpInstr::Barrier)
+        ));
     }
 }

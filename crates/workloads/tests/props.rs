@@ -7,58 +7,61 @@ use proptest::prelude::*;
 
 fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
     let shape = (
-        1u32..20,              // ctas
-        1u32..8,               // warps_per_cta
-        1u32..12,              // iters
-        0u32..10,              // alu
-        0u32..4,               // shared
-        0u32..4,               // loads
-        0u32..3,               // stores
-        1u32..6,               // k_min
-        0u32..8,               // k_extra
-        1u32..8,               // consume
+        1u32..20, // ctas
+        1u32..8,  // warps_per_cta
+        1u32..12, // iters
+        0u32..10, // alu
+        0u32..4,  // shared
+        0u32..4,  // loads
+        0u32..3,  // stores
+        1u32..6,  // k_min
+        0u32..8,  // k_extra
+        1u32..8,  // consume
     );
     let flavour = (
-        0u64..4,               // pattern selector
-        0.0f64..1.0,           // reuse
-        0.0f64..1.0,           // l1 reuse
-        1u64..100_000,         // working set
+        0u64..4,                   // pattern selector
+        0.0f64..1.0,               // reuse
+        0.0f64..1.0,               // l1 reuse
+        1u64..100_000,             // working set
         prop::option::of(1u32..5), // barrier
-        any::<u64>(),          // seed
+        any::<u64>(),              // seed
     );
-    (shape, flavour)
-        .prop_map(
-            |(
-                (ctas, wpc, iters, alu, shared, loads, stores, kmin, kextra, consume),
-                (pat, reuse, l1r, ws, barrier, seed),
-            )| {
-                let mut p = WorkloadParams::template("prop");
-                p.ctas = ctas;
-                p.warps_per_cta = wpc;
-                p.iters = iters;
-                p.alu_per_iter = alu;
-                p.shared_per_iter = shared;
-                // Keep at least one instruction in the body.
-                p.loads_per_iter = loads.max(u32::from(alu + shared + stores == 0));
-                p.stores_per_iter = stores;
-                p.lines_per_load_min = kmin;
-                p.lines_per_load_max = (kmin + kextra).min(32);
-                p.consume_distance = consume;
-                p.pattern = match pat {
-                    0 => AccessPattern::Streaming,
-                    1 => AccessPattern::Strided { stride: 1 + seed % 100 },
-                    2 => AccessPattern::Gather,
-                    _ => AccessPattern::Stencil { plane: 1 + seed % 10_000 },
-                };
-                p.reuse_fraction = reuse;
-                p.l1_reuse_fraction = l1r;
-                p.working_set_lines = ws;
-                p.hot_lines = (ws / 8).max(1);
-                p.barrier_every = barrier;
-                p.seed = seed;
-                p
-            },
-        )
+    (shape, flavour).prop_map(
+        |(
+            (ctas, wpc, iters, alu, shared, loads, stores, kmin, kextra, consume),
+            (pat, reuse, l1r, ws, barrier, seed),
+        )| {
+            let mut p = WorkloadParams::template("prop");
+            p.ctas = ctas;
+            p.warps_per_cta = wpc;
+            p.iters = iters;
+            p.alu_per_iter = alu;
+            p.shared_per_iter = shared;
+            // Keep at least one instruction in the body.
+            p.loads_per_iter = loads.max(u32::from(alu + shared + stores == 0));
+            p.stores_per_iter = stores;
+            p.lines_per_load_min = kmin;
+            p.lines_per_load_max = (kmin + kextra).min(32);
+            p.consume_distance = consume;
+            p.pattern = match pat {
+                0 => AccessPattern::Streaming,
+                1 => AccessPattern::Strided {
+                    stride: 1 + seed % 100,
+                },
+                2 => AccessPattern::Gather,
+                _ => AccessPattern::Stencil {
+                    plane: 1 + seed % 10_000,
+                },
+            };
+            p.reuse_fraction = reuse;
+            p.l1_reuse_fraction = l1r;
+            p.working_set_lines = ws;
+            p.hot_lines = (ws / 8).max(1);
+            p.barrier_every = barrier;
+            p.seed = seed;
+            p
+        },
+    )
 }
 
 proptest! {

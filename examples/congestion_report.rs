@@ -21,13 +21,17 @@ fn main() {
     let suite: Vec<Arc<dyn gpumem_sim::KernelProgram>> = BENCHMARK_NAMES
         .iter()
         .map(|n| {
-            Arc::new(SyntheticKernel::new(params_of(n).expect("canonical").scaled(scale)))
-                as Arc<dyn gpumem_sim::KernelProgram>
+            Arc::new(SyntheticKernel::new(
+                params_of(n).expect("canonical").scaled(scale),
+            )) as Arc<dyn gpumem_sim::KernelProgram>
         })
         .collect();
 
     let cfg = GpuConfig::gtx480();
-    eprintln!("running {} benchmarks on the baseline (scale {scale}) ...", suite.len());
+    eprintln!(
+        "running {} benchmarks on the baseline (scale {scale}) ...",
+        suite.len()
+    );
     let study = congestion_study(&cfg, &suite).expect("study completes");
     println!("{}", text::congestion_table(&study));
 

@@ -57,8 +57,12 @@ fn main() {
     ) {
         println!("synergy confirmed: the L2+DRAM gain exceeds the sum of the isolated gains.");
     }
-    let l2 = study.result_for(DesignPoint::L2_ONLY).map(|r| r.average_speedup());
-    let dram = study.result_for(DesignPoint::DRAM_ONLY).map(|r| r.average_speedup());
+    let l2 = study
+        .result_for(DesignPoint::L2_ONLY)
+        .map(|r| r.average_speedup());
+    let dram = study
+        .result_for(DesignPoint::DRAM_ONLY)
+        .map(|r| r.average_speedup());
     if let (Some(l2), Some(dram)) = (l2, dram) {
         if l2 > dram {
             println!(

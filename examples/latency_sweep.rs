@@ -27,7 +27,10 @@ fn main() {
         Arc::new(SyntheticKernel::new(params.scaled(scale)));
 
     let cfg = GpuConfig::gtx480();
-    eprintln!("sweeping `{name}` over {} latency points ...", FIG1_LATENCIES.len());
+    eprintln!(
+        "sweeping `{name}` over {} latency points ...",
+        FIG1_LATENCIES.len()
+    );
     let profile =
         latency_tolerance_profile(&cfg, &program, &FIG1_LATENCIES).expect("sweep completes");
 
@@ -35,7 +38,12 @@ fn main() {
     println!("latency  norm-IPC");
     for p in &profile.points {
         let bars = ((p.normalized_ipc / peak) * 50.0).round() as usize;
-        println!("{:>7}  {:>8.3} |{}", p.latency, p.normalized_ipc, "#".repeat(bars));
+        println!(
+            "{:>7}  {:>8.3} |{}",
+            p.latency,
+            p.normalized_ipc,
+            "#".repeat(bars)
+        );
     }
     println!();
     println!("baseline IPC              : {:.3}", profile.baseline_ipc);
@@ -52,9 +60,7 @@ fn main() {
     println!("performance plateau ends  : {} cycles", profile.plateau_end);
     println!();
     if profile.baseline_beyond_plateau() {
-        println!(
-            "observation ①: the baseline sits far beyond the plateau — reducing"
-        );
+        println!("observation ①: the baseline sits far beyond the plateau — reducing");
         println!("memory latency would directly improve performance.");
     } else {
         println!("this benchmark is latency-tolerant: the baseline sits on the plateau.");

@@ -50,13 +50,16 @@ fn main() {
             "DRAM queue full      : {:.1}% of its usage lifetime (paper avg: 39%)",
             dram.scheduler_queue.full_fraction_of_usage() * 100.0
         );
-        println!("DRAM row-hit rate    : {:.1}%", dram.stats.row_hit_rate() * 100.0);
+        println!(
+            "DRAM row-hit rate    : {:.1}%",
+            dram.stats.row_hit_rate() * 100.0
+        );
     }
 
     // Now the same kernel with the congestion removed: a fixed 120-cycle
     // memory (the L2 ideal) with unlimited bandwidth.
-    let ideal = run_benchmark(&cfg, &program, MemoryMode::FixedLatency(120))
-        .expect("ideal run completes");
+    let ideal =
+        run_benchmark(&cfg, &program, MemoryMode::FixedLatency(120)).expect("ideal run completes");
     println!();
     println!(
         "with an ideal 120-cycle memory the same kernel runs {:.2}x faster —",

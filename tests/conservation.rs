@@ -108,12 +108,13 @@ fn stall_accounting_partitions_cycles() {
     let report = run(&cfg, params_of("cfd").unwrap().scaled(0.1));
     let c = &report.core;
     // Issue cycles + stalled cycles cannot exceed total core-cycles.
-    let stalled = c.stall_memory
-        + c.stall_mem_pipeline
-        + c.stall_barrier
-        + c.stall_compute
-        + c.idle_cycles;
-    assert!(stalled <= c.cycles, "stalls {stalled} > cycles {}", c.cycles);
+    let stalled =
+        c.stall_memory + c.stall_mem_pipeline + c.stall_barrier + c.stall_compute + c.idle_cycles;
+    assert!(
+        stalled <= c.cycles,
+        "stalls {stalled} > cycles {}",
+        c.cycles
+    );
     // A memory-intensive benchmark must show memory stalls.
     assert!(c.stall_memory > 0);
 }

@@ -90,7 +90,10 @@ fn store_heavy_kernel_generates_dram_writes() {
     let program = quick("lbm") as Arc<dyn gpumem_sim::KernelProgram>;
     let report = run_benchmark(&cfg, &program, MemoryMode::Hierarchy).unwrap();
     let dram = report.dram.expect("hierarchy mode");
-    assert!(dram.stats.writes > 0, "write-through stores must reach DRAM");
+    assert!(
+        dram.stats.writes > 0,
+        "write-through stores must reach DRAM"
+    );
     assert!(report.l1.stats.stores > 0);
 }
 

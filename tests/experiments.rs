@@ -31,8 +31,7 @@ fn small_gpu() -> GpuConfig {
 fn latency_tolerance_curve_is_monotonically_damaging() {
     let cfg = small_gpu();
     let program = quick_suite(&["nn"]).pop().unwrap();
-    let profile =
-        latency_tolerance_profile(&cfg, &program, &[0, 100, 200, 400, 800]).unwrap();
+    let profile = latency_tolerance_profile(&cfg, &program, &[0, 100, 200, 400, 800]).unwrap();
     // Normalized IPC must not increase with latency (small tolerance for
     // scheduling noise).
     for w in profile.points.windows(2) {
@@ -90,7 +89,11 @@ fn congestion_study_reports_congested_queues() {
     for r in &study.rows {
         assert!((0.0..=1.0).contains(&r.l2_access_full));
         assert!((0.0..=1.0).contains(&r.dram_sched_full));
-        assert!(r.avg_l1_miss_latency > 120.0, "{}: latency under ideal", r.benchmark);
+        assert!(
+            r.avg_l1_miss_latency > 120.0,
+            "{}: latency under ideal",
+            r.benchmark
+        );
     }
 }
 
@@ -135,8 +138,7 @@ fn dse_reproduces_the_papers_qualitative_claims() {
 fn dse_baseline_ipcs_are_positive_and_named() {
     let cfg = small_gpu();
     let suite = quick_suite(&["nn", "nw"]);
-    let study =
-        design_space_exploration(&cfg, &suite, &[DesignPoint::L2_ONLY]).unwrap();
+    let study = design_space_exploration(&cfg, &suite, &[DesignPoint::L2_ONLY]).unwrap();
     assert_eq!(study.baseline_ipc.len(), 2);
     assert_eq!(study.baseline_ipc[0].0, "nn");
     assert!(study.baseline_ipc.iter().all(|(_, ipc)| *ipc > 0.0));

@@ -1,0 +1,137 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by this workspace's `harness = false` bench
+//! targets: `Criterion`, `benchmark_group`, `bench_function`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark is timed with `std::time::Instant` over a fixed number of
+//! iterations and reported as mean wall-clock time per iteration — no
+//! statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (criterion's `sample_size` is
+/// interpreted loosely: it scales this count down for slow benches).
+const DEFAULT_ITERS: u64 = 10;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: DEFAULT_ITERS,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, DEFAULT_ITERS, f);
+        self
+    }
+}
+
+/// Throughput annotation (recorded but only echoed, not rated).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration throughput (echoed only).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        println!("  throughput: {throughput:?}");
+        self
+    }
+
+    /// Set the iteration count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size.min(DEFAULT_ITERS), f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's iteration budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up call.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, iters: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    println!("  {id}: {:.3} ms/iter ({iters} iters)", per_iter * 1e3);
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

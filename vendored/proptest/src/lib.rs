@@ -1,0 +1,91 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest used by this workspace: the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, the [`Strategy`]
+//! trait with ranges / tuples / `prop_map` / `Just` / boxed unions, plus
+//! `prop::collection::vec` and `prop::option::of`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! its generated inputs printed), and generation is derived from a
+//! deterministic per-test seed so failures reproduce exactly. The case
+//! count defaults to 32 and can be raised with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a test that runs the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __inputs = ::std::vec![
+                        $((stringify!($arg), ::std::format!("{:?}", $arg))),+
+                    ];
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __result {
+                        ::std::eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:",
+                            __case + 1,
+                            __cases,
+                            stringify!($name),
+                        );
+                        for (__n, __v) in &__inputs {
+                            ::std::eprintln!("  {__n} = {__v}");
+                        }
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        ::std::assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        ::std::assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

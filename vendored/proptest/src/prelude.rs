@@ -1,0 +1,7 @@
+//! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::TestRng;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

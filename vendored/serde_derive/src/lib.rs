@@ -1,0 +1,425 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input item is parsed directly from the `proc_macro::TokenStream`, and the
+//! generated impl is assembled as a string and re-parsed. The supported
+//! grammar is intentionally narrow — plain structs (named, tuple or unit)
+//! and enums with unit / named-field / tuple variants, no generic
+//! parameters and no `#[serde(...)]` attributes — which covers every
+//! derived type in this workspace.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the item a derive is attached to.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derive `serde::Serialize` by converting the item into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` by reconstructing the item from a
+/// `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic parameters on `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive supports only structs and enums, found `{other}`"),
+    };
+    Input { name, kind }
+}
+
+/// Advance past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip a type (or any expression) up to and including the next top-level
+/// `,`. Only `<`/`>` need manual depth tracking: parenthesised and bracketed
+/// groups arrive as single nested token trees.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_past_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_past_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "({}, ::serde::Serialize::to_value(&self.{f})),",
+                    string_lit(f)
+                );
+            }
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::String({}),",
+                            string_lit(vname)
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                        let mut entries = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                entries,
+                                "({}, ::serde::Serialize::to_value(__f_{f})),",
+                                string_lit(f)
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![({}, \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            binds.join(", "),
+                            string_lit(vname)
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|idx| format!("__t{idx}")).collect();
+                        let content = if *n == 1 {
+                            "::serde::Serialize::to_value(__t0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![({}, \
+                             {content})]),",
+                            binds.join(", "),
+                            string_lit(vname)
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: ::serde::__get_field(__obj, \"{f}\", \"{name}\")?,"
+                );
+            }
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::TupleStruct(0) => format!("::std::result::Result::Ok({name}())"),
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                let _ = write!(items, "::serde::Deserialize::from_value(&__items[{idx}])?,");
+            }
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for `{name}`\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple length for `{name}`\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut content_arms = String::new();
+            let mut has_content = false;
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        has_content = true;
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inits,
+                                "{f}: ::serde::__get_field(__fields, \"{f}\", \"{name}::{vname}\")?,"
+                            );
+                        }
+                        let _ = write!(
+                            content_arms,
+                            "\"{vname}\" => {{\n\
+                             let __fields = __content.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for `{name}::{vname}`\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }},"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        has_content = true;
+                        if *n == 1 {
+                            let _ = write!(
+                                content_arms,
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__content)?)),"
+                            );
+                        } else {
+                            let mut items = String::new();
+                            for idx in 0..*n {
+                                let _ = write!(
+                                    items,
+                                    "::serde::Deserialize::from_value(&__items[{idx}])?,"
+                                );
+                            }
+                            let _ = write!(
+                                content_arms,
+                                "\"{vname}\" => {{\n\
+                                 let __items = __content.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for `{name}::{vname}`\"))?;\n\
+                                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"wrong tuple length for `{name}::{vname}`\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                 }},"
+                            );
+                        }
+                    }
+                }
+            }
+            let object_arm = if has_content {
+                format!(
+                    "::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __content) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                     {content_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                     }}\n\
+                     }},"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                 }},\n\
+                 {object_arm}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"unsupported value shape for enum `{name}`\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
