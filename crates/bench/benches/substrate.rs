@@ -78,7 +78,7 @@ fn bench_l1(c: &mut Criterion) {
                 now += 1;
                 let _ = l1.access(fetch(i, i % 96), now);
                 if let Some(req) = l1.pop_miss() {
-                    black_box(l1.fill(&req, now + 100));
+                    black_box(l1.fill(req, now + 100));
                 }
                 black_box(l1.pop_ready_hits(now).len());
             }

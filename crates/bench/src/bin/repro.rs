@@ -2,7 +2,8 @@
 //! Bottlenecks in GPGPU Workloads* (IISWC 2016).
 //!
 //! ```text
-//! repro [--scale F] [--json DIR] [fig1|congestion|dse|table1|latency|ablation|perf|all]
+//! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE]
+//!       [fig1|congestion|dse|table1|latency|ablation|perf|all]
 //! ```
 //!
 //! * `fig1`       — Fig. 1 latency-tolerance sweep (17 points × 8 benchmarks)
@@ -11,13 +12,22 @@
 //! * `table1`     — prints Table I itself (configuration values)
 //! * `latency`    — Section II baseline-vs-ideal latency comparison
 //! * `ablation`   — Section V future work: per-row ablation + cost ranking
-//! * `perf`       — host throughput: stepping vs event-horizon skipping
-//!   (cycles/sec, skipped fraction, speedup)
+//! * `perf`       — host throughput: per-cycle stepping vs event-horizon
+//!   skipping vs sharded parallel stepping (cycles/sec, skipped fraction,
+//!   per-thread-count speedups)
 //! * `all`        — everything above except `perf` (default)
 //!
 //! `--scale F` scales the workloads (grid × F, iterations × √F) for quick
 //! runs; the shipped EXPERIMENTS.md numbers use the full scale (1.0).
+//! `--quick` is shorthand for `--scale 0.25` (the CI smoke setting).
 //! `--json DIR` additionally dumps raw results as JSON.
+//! `--threads LIST` (perf only) sets the parallel thread counts swept,
+//! default `1,2,4`.
+//! `--check FILE` (perf only) compares the measured speedups against a
+//! committed baseline (e.g. `BENCH_PARALLEL.json`) and exits non-zero if
+//! any engine's per-mode geomean speedup regressed by more than 20%.
+//! Speedups — not absolute cycles/sec — are compared, so a baseline
+//! recorded on one host remains meaningful on another.
 
 use std::sync::Arc;
 
@@ -32,12 +42,16 @@ use gpumem_simt::KernelProgram;
 struct Args {
     scale: f64,
     json_dir: Option<String>,
+    threads: Vec<usize>,
+    check: Option<String>,
     command: String,
 }
 
 fn parse_args() -> Args {
     let mut scale = 1.0;
     let mut json_dir = None;
+    let mut threads = vec![1, 2, 4];
+    let mut check = None;
     let mut command = "all".to_owned();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,8 +62,30 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
+            "--quick" => scale = 0.25,
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| die("--json needs a directory")));
+            }
+            "--threads" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a comma-separated list"));
+                threads = list
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| die(&format!("bad thread count {t:?}")))
+                    })
+                    .collect();
+                if threads.is_empty() {
+                    die("--threads needs at least one count");
+                }
+            }
+            "--check" => {
+                check = Some(it.next().unwrap_or_else(|| die("--check needs a file")));
             }
             "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf" | "all" => {
                 command = arg;
@@ -60,6 +96,8 @@ fn parse_args() -> Args {
     Args {
         scale,
         json_dir,
+        threads,
+        check,
         command,
     }
 }
@@ -67,7 +105,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--scale F] [--json DIR] \
+        "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE] \
          [fig1|congestion|dse|table1|latency|ablation|perf|all]"
     );
     std::process::exit(2)
@@ -137,9 +175,20 @@ fn run_latency(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
     dump_json(json, "latency", &study);
 }
 
-/// One row of the `perf` command: the same run executed strictly per-cycle
-/// and with event-horizon skipping.
-#[derive(serde::Serialize)]
+/// One parallel measurement inside a [`PerfRow`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ParallelPoint {
+    threads: u64,
+    wall_s: f64,
+    mcyc_per_s: f64,
+    /// Wall-clock speedup over the per-cycle stepped reference run.
+    speedup: f64,
+}
+
+/// One row of the `perf` command: the same run executed strictly
+/// per-cycle, with event-horizon skipping, and sharded across each
+/// requested thread count.
+#[derive(serde::Serialize, serde::Deserialize)]
 struct PerfRow {
     benchmark: String,
     mode: String,
@@ -150,9 +199,27 @@ struct PerfRow {
     stepped_mcyc_per_s: f64,
     skipping_mcyc_per_s: f64,
     skipped_fraction: f64,
+    parallel: Vec<ParallelPoint>,
 }
 
-fn perf_row(cfg: &GpuConfig, program: &Arc<dyn KernelProgram>, mode: MemoryMode) -> PerfRow {
+/// The `perf` command's JSON artifact (committed as `BENCH_PARALLEL.json`).
+///
+/// `host_cpus` records how much hardware parallelism the recording host
+/// actually had: parallel speedups are meaningless without it, and a
+/// single-CPU container legitimately records slowdowns.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PerfSummary {
+    host_cpus: u64,
+    scale: f64,
+    rows: Vec<PerfRow>,
+}
+
+fn perf_row(
+    cfg: &GpuConfig,
+    program: &Arc<dyn KernelProgram>,
+    mode: MemoryMode,
+    threads: &[usize],
+) -> PerfRow {
     let stepped = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
         .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
         .expect("stepped run completes");
@@ -165,6 +232,29 @@ fn perf_row(cfg: &GpuConfig, program: &Arc<dyn KernelProgram>, mode: MemoryMode)
         stepped.cycles, skipping.cycles,
         "skipping must be observationally invisible"
     );
+    let parallel = threads
+        .iter()
+        .map(|&n| {
+            let report = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+                .run_parallel(gpumem::DEFAULT_MAX_CYCLES, n)
+                .expect("parallel run completes");
+            assert_eq!(
+                stepped.cycles, report.cycles,
+                "parallel stepping must be observationally invisible"
+            );
+            let hp = report.host.as_ref().expect("run fills host perf");
+            ParallelPoint {
+                threads: n as u64,
+                wall_s: hp.wall_seconds,
+                mcyc_per_s: hp.cycles_per_sec / 1e6,
+                speedup: if hp.wall_seconds > 0.0 {
+                    hs.wall_seconds / hp.wall_seconds
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect();
     PerfRow {
         benchmark: stepped.benchmark.clone(),
         mode: stepped.mode.clone(),
@@ -179,24 +269,34 @@ fn perf_row(cfg: &GpuConfig, program: &Arc<dyn KernelProgram>, mode: MemoryMode)
         stepped_mcyc_per_s: hs.cycles_per_sec / 1e6,
         skipping_mcyc_per_s: hk.cycles_per_sec / 1e6,
         skipped_fraction: hk.skipped_fraction,
+        parallel,
     }
 }
 
-fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    (n > 0).then(|| (sum / n as f64).exp())
+}
+
+fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usize]) -> PerfSummary {
     let mut rows = Vec::new();
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
         for program in suite(scale) {
             eprintln!("perf: {} / {mode} ...", program.name());
-            rows.push(perf_row(cfg, &program, mode));
+            rows.push(perf_row(cfg, &program, mode, threads));
         }
     }
-    println!("HOST THROUGHPUT — PER-CYCLE STEPPING vs EVENT-HORIZON SKIPPING");
-    println!(
+    println!("HOST THROUGHPUT — STEPPING vs SKIPPING vs SHARDED PARALLEL");
+    print!(
         "{:>10} {:>18} {:>12} {:>11} {:>11} {:>9} {:>9}",
         "benchmark", "mode", "cycles", "step Mc/s", "skip Mc/s", "skipped", "speedup"
     );
+    for n in threads {
+        print!(" {:>8}", format!("par×{n}"));
+    }
+    println!();
     for r in &rows {
-        println!(
+        print!(
             "{:>10} {:>18} {:>12} {:>11.2} {:>11.2} {:>8.1}% {:>8.2}x",
             r.benchmark,
             r.mode,
@@ -206,23 +306,115 @@ fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
             100.0 * r.skipped_fraction,
             r.speedup
         );
+        for p in &r.parallel {
+            print!(" {:>7.2}x", p.speedup);
+        }
+        println!();
     }
     for (label, filter) in [
         ("hierarchy", "hierarchy"),
         ("fixed-latency", "fixed-latency"),
     ] {
-        let speedups: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.mode.starts_with(filter))
-            .map(|r| r.speedup)
-            .collect();
-        if !speedups.is_empty() {
-            let geomean =
-                (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
-            println!("{label} geomean speedup: {geomean:.2}x");
+        let in_mode = || rows.iter().filter(|r| r.mode.starts_with(filter));
+        if let Some(g) = geomean(in_mode().map(|r| r.speedup)) {
+            println!("{label} geomean skipping speedup: {g:.2}x");
+        }
+        for (i, n) in threads.iter().enumerate() {
+            if let Some(g) = geomean(in_mode().map(|r| r.parallel[i].speedup)) {
+                println!("{label} geomean parallel speedup at {n} threads: {g:.2}x");
+            }
         }
     }
-    dump_json(json, "perf", &rows);
+    let summary = PerfSummary {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        scale,
+        rows,
+    };
+    println!("(host has {} CPUs)", summary.host_cpus);
+    dump_json(json, "perf", &summary);
+    summary
+}
+
+/// Compares the freshly measured speedups against a committed baseline.
+/// Exits non-zero if any engine's per-mode geomean speedup fell below 80%
+/// of the baseline's. Ratios of speedups — not absolute throughput — are
+/// compared, so the gate is portable across hosts; a faster host can only
+/// pass more easily, never spuriously fail.
+fn check_perf(current: &PerfSummary, baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| die(&format!("cannot read {baseline_path}: {e}")));
+    // The committed baseline is a list of summaries, one per workload
+    // scale (a bare summary is accepted too). Speedups at different
+    // scales are not comparable — tiny runs amortize fixed costs
+    // differently — so the gate insists on a scale-matched entry.
+    let baselines: Vec<PerfSummary> = serde_json::from_str(&text).unwrap_or_else(|_| {
+        let one: PerfSummary = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse {baseline_path}: {e}")));
+        vec![one]
+    });
+    let baseline = baselines
+        .iter()
+        .find(|b| (b.scale - current.scale).abs() < f64::EPSILON)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "{baseline_path} has no baseline at scale {}; re-record one",
+                current.scale
+            ))
+        });
+    let mut failed = false;
+    let mut gate = |label: &str, cur: Option<f64>, base: Option<f64>| {
+        let (Some(cur), Some(base)) = (cur, base) else {
+            return;
+        };
+        let ratio = cur / base;
+        let verdict = if ratio < 0.8 {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("check {label}: {cur:.2}x vs baseline {base:.2}x ({ratio:.2}) {verdict}");
+    };
+    for filter in ["hierarchy", "fixed-latency"] {
+        let cur_mode = || current.rows.iter().filter(|r| r.mode.starts_with(filter));
+        let base_mode = || baseline.rows.iter().filter(|r| r.mode.starts_with(filter));
+        gate(
+            &format!("{filter} skipping"),
+            geomean(cur_mode().map(|r| r.speedup)),
+            geomean(base_mode().map(|r| r.speedup)),
+        );
+        // Match parallel points by thread count: the current sweep may be
+        // narrower than the baseline's (CI runs a single count).
+        let counts: Vec<u64> = cur_mode()
+            .flat_map(|r| r.parallel.iter().map(|p| p.threads))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for n in counts {
+            let cur_g = geomean(
+                cur_mode()
+                    .flat_map(|r| r.parallel.iter())
+                    .filter(|p| p.threads == n)
+                    .map(|p| p.speedup),
+            );
+            let base_g = geomean(
+                base_mode()
+                    .flat_map(|r| r.parallel.iter())
+                    .filter(|p| p.threads == n)
+                    .map(|p| p.speedup),
+            );
+            if base_g.is_none() {
+                println!("check {filter} parallel×{n}: no baseline, skipped");
+                continue;
+            }
+            gate(&format!("{filter} parallel×{n}"), cur_g, base_g);
+        }
+    }
+    if failed {
+        eprintln!("error: throughput regressed >20% vs {baseline_path}");
+        std::process::exit(1);
+    }
+    println!("perf check against {baseline_path}: ok");
 }
 
 fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
@@ -247,7 +439,12 @@ fn main() {
         "congestion" => run_congestion(&cfg, args.scale, &args.json_dir),
         "dse" => run_dse(&cfg, args.scale, &args.json_dir),
         "ablation" => run_ablation(&cfg, args.scale, &args.json_dir),
-        "perf" => run_perf(&cfg, args.scale, &args.json_dir),
+        "perf" => {
+            let summary = run_perf(&cfg, args.scale, &args.json_dir, &args.threads);
+            if let Some(baseline) = &args.check {
+                check_perf(&summary, baseline);
+            }
+        }
         "latency" => run_latency(&cfg, args.scale, &args.json_dir),
         "all" => {
             println!("{}", text::table_i());

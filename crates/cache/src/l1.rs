@@ -4,7 +4,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gpumem_config::{GpuConfig, L1Config};
-use gpumem_types::{AccessKind, Cycle, LineAddr, MemFetch, QueueStats, SimQueue};
+use gpumem_types::{
+    AccessKind, Cycle, FetchArena, LineAddr, MemFetch, QueueStats, SimQueue, SlotId,
+};
 
 use crate::{MshrTable, TagArray};
 
@@ -88,7 +90,9 @@ impl L1Stats {
 struct HitEntry {
     ready: Cycle,
     seq: u64,
-    fetch: MemFetch,
+    /// Arena slot holding the completed fetch (keeping the heap element at
+    /// 24 bytes instead of carrying the whole `MemFetch` through sifts).
+    slot: SlotId,
 }
 
 impl PartialEq for HitEntry {
@@ -127,9 +131,14 @@ pub struct L1Dcache {
     sets: usize,
     hit_latency: u64,
     tags: TagArray,
-    mshr: MshrTable<MemFetch>,
+    /// Waiters merged on an outstanding line. `None` marks the primary
+    /// access — its body IS the request travelling down the hierarchy, so
+    /// no copy is parked here; the returning fill reconstitutes it.
+    mshr: MshrTable<Option<SlotId>>,
     miss_queue: SimQueue<MemFetch>,
     ready_hits: BinaryHeap<HitEntry>,
+    /// Parked bodies of merged waiters and latency-pending hit responses.
+    arena: FetchArena,
     next_seq: u64,
     stats: L1Stats,
 }
@@ -150,6 +159,7 @@ impl L1Dcache {
             mshr: MshrTable::new(l1.mshr_entries, l1.mshr_merge),
             miss_queue: SimQueue::new("l1_miss", l1.miss_queue),
             ready_hits: BinaryHeap::new(),
+            arena: FetchArena::with_capacity(l1.mshr_entries * l1.mshr_merge),
             next_seq: 0,
             stats: L1Stats::default(),
         }
@@ -176,7 +186,7 @@ impl L1Dcache {
                     self.ready_hits.push(HitEntry {
                         ready: now + self.hit_latency,
                         seq: self.next_seq,
-                        fetch,
+                        slot: self.arena.insert(fetch),
                     });
                     self.next_seq += 1;
                     return L1AccessOutcome::Hit;
@@ -189,8 +199,10 @@ impl L1Dcache {
                         return L1AccessOutcome::Blocked(fetch, L1BlockReason::MshrMergeCapacity);
                     }
                     fetch.timeline.l1_miss = Some(now);
+                    let line = fetch.line;
+                    let slot = self.arena.insert(fetch);
                     self.mshr
-                        .allocate(fetch.line, fetch)
+                        .allocate(line, Some(slot))
                         .expect("capacity checked above");
                     self.stats.load_misses += 1;
                     self.stats.merged_misses += 1;
@@ -206,8 +218,11 @@ impl L1Dcache {
                 }
                 fetch.timeline.l1_miss = Some(now);
                 self.stats.load_misses += 1;
+                // The primary access is not copied: its body travels down
+                // the hierarchy as the fill request and comes back through
+                // `fill`, which reconstitutes it from the response.
                 self.mshr
-                    .allocate(fetch.line, fetch.clone())
+                    .allocate(fetch.line, None)
                     .expect("capacity checked above");
                 self.miss_queue.push(fetch).expect("fullness checked above");
                 L1AccessOutcome::Miss { merged: false }
@@ -234,7 +249,8 @@ impl L1Dcache {
             if head.ready > now {
                 break;
             }
-            out.push(self.ready_hits.pop().expect("peeked").fetch);
+            let slot = self.ready_hits.pop().expect("peeked").slot;
+            out.push(self.arena.take(slot));
         }
         out
     }
@@ -254,14 +270,25 @@ impl L1Dcache {
     /// The returned fetches (primary + merged) are completed loads to wake
     /// warps with. Write-through means evicted lines are never dirty, so no
     /// writeback traffic is generated.
-    pub fn fill(&mut self, fetch: &MemFetch, now: Cycle) -> Vec<MemFetch> {
+    ///
+    /// Takes the response by value: the primary waiter was never copied at
+    /// miss time, so the returning body itself completes it.
+    pub fn fill(&mut self, fetch: MemFetch, now: Cycle) -> Vec<MemFetch> {
         let set = self.set_of(fetch.line);
         self.tags.fill(set, fetch.line, now);
-        let mut waiters = self.mshr.complete(fetch.line);
-        for w in &mut waiters {
-            w.timeline.returned = Some(now);
-        }
+        let waiters = self.mshr.complete(fetch.line);
+        let mut primary = Some(fetch);
         waiters
+            .into_iter()
+            .map(|w| {
+                let mut f = match w {
+                    None => primary.take().expect("exactly one primary per entry"),
+                    Some(slot) => self.arena.take(slot),
+                };
+                f.timeline.returned = Some(now);
+                f
+            })
+            .collect()
     }
 
     /// Ready time of the earliest queued hit response, if any.
@@ -345,7 +372,7 @@ mod tests {
         assert_eq!(req.line, LineAddr::new(5));
         assert_eq!(req.timeline.l1_miss, Some(now));
 
-        let done = c.fill(&req, Cycle::new(100));
+        let done = c.fill(req, Cycle::new(100));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].timeline.returned, Some(Cycle::new(100)));
         assert_eq!(done[0].timeline.l1_miss_latency(), Some(90));
@@ -373,7 +400,7 @@ mod tests {
         let req = c.pop_miss().unwrap();
         assert!(c.pop_miss().is_none());
         // Fill releases both.
-        let done = c.fill(&req, Cycle::new(50));
+        let done = c.fill(req, Cycle::new(50));
         assert_eq!(done.len(), 2);
         assert_eq!(c.stats().merged_misses, 1);
     }
@@ -445,7 +472,7 @@ mod tests {
         for (id, line) in [(1, 1), (2, 2)] {
             c.access(load(id, line), Cycle::new(0));
             let req = c.pop_miss().unwrap();
-            c.fill(&req, Cycle::new(1));
+            c.fill(req, Cycle::new(1));
         }
         c.access(load(10, 1), Cycle::new(5));
         c.access(load(11, 2), Cycle::new(6));
@@ -460,7 +487,7 @@ mod tests {
         let mut c = cache();
         c.access(load(1, 1), Cycle::new(0));
         let req = c.pop_miss().unwrap();
-        c.fill(&req, Cycle::new(1));
+        c.fill(req, Cycle::new(1));
         c.access(load(2, 1), Cycle::new(2));
         assert_eq!(c.stats().miss_rate(), 0.5);
         assert_eq!(L1Stats::default().miss_rate(), 0.0);

@@ -166,14 +166,14 @@ proptest! {
             // Respond to one outstanding request per step.
             if let Some(req) = inflight.pop() {
                 now += 1;
-                completed += l1.fill(&req, now).len() as u64;
+                completed += l1.fill(req, now).len() as u64;
             }
             completed += l1.pop_ready_hits(now).len() as u64;
         }
         // Drain everything left.
         for req in inflight {
             now += 1;
-            completed += l1.fill(&req, now).len() as u64;
+            completed += l1.fill(req, now).len() as u64;
         }
         now += 100;
         completed += l1.pop_ready_hits(now).len() as u64;

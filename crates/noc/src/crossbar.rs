@@ -1,5 +1,24 @@
 //! The wormhole crossbar.
+//!
+//! The crossbar is decomposed into per-port state and a central fabric so
+//! the parallel stepper can hand each shard exclusive ownership of exactly
+//! the ports it touches:
+//!
+//! * [`IngressPort`] — one bounded input buffer. Written only by the
+//!   component that injects on it (core `c` on the request network,
+//!   partition `p` on the response network).
+//! * [`EgressPort`] — one output's streaming/in-flight/ejection state.
+//!   Popped only by the component that drains it.
+//! * [`CrossbarFabric`] — the arbitration logic and shared counters. Its
+//!   [`tick`](CrossbarFabric::tick) is the single point that reads and
+//!   writes *across* ports, which is why the parallel engine runs it
+//!   serially at the cycle barrier.
+//!
+//! [`Crossbar`] owns all three and presents the same single-threaded facade
+//! as before; [`Crossbar::take_ports`] / [`Crossbar::restore_ports`] let
+//! the parallel engine dismantle it for a run and reassemble it afterwards.
 
+use std::borrow::BorrowMut;
 use std::collections::VecDeque;
 
 use gpumem_config::NocConfig;
@@ -35,8 +54,89 @@ impl CrossbarStats {
     }
 }
 
+/// One bounded input buffer of the crossbar.
+///
+/// Injection-side state only: safe to own exclusively in the shard that
+/// injects on this port while the fabric is quiescent.
 #[derive(Debug)]
-struct Output {
+pub struct IngressPort {
+    queue: SimQueue<Packet>,
+    /// Number of outputs on the fabric this port belongs to (for
+    /// destination validation at injection time).
+    dest_limit: usize,
+    /// Packets accepted on this port (merged into
+    /// [`CrossbarStats::packets_injected`]).
+    injected: u64,
+}
+
+impl IngressPort {
+    fn new(cfg: &NocConfig, dest_limit: usize) -> Self {
+        IngressPort {
+            queue: SimQueue::new("noc_input", cfg.input_buffer_pkts),
+            dest_limit,
+            injected: 0,
+        }
+    }
+
+    /// True if this port can accept a packet this cycle.
+    pub fn can_inject(&self) -> bool {
+        !self.queue.is_full()
+    }
+
+    /// Offers `packet` to this input buffer.
+    ///
+    /// # Errors
+    ///
+    /// Hands the packet back if the buffer is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's destination is out of range.
+    #[allow(clippy::result_large_err)] // the rejected packet is handed back by design
+    pub fn try_inject(&mut self, packet: Packet) -> Result<(), Packet> {
+        assert!(packet.dest < self.dest_limit, "destination out of range");
+        match self.queue.push(packet) {
+            Ok(()) => {
+                self.injected += 1;
+                Ok(())
+            }
+            Err(e) => Err(e.into_inner()),
+        }
+    }
+
+    /// Queued packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the buffer holds no packet.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Per-cycle occupancy bookkeeping.
+    pub fn observe(&mut self) {
+        self.queue.observe();
+    }
+
+    /// Batch bookkeeping for `cycles` quiescent cycles.
+    pub fn observe_many(&mut self, cycles: u64) {
+        self.queue.observe_many(cycles);
+    }
+
+    /// Occupancy statistics of this input buffer.
+    pub fn queue_stats(&self) -> &QueueStats {
+        self.queue.stats()
+    }
+}
+
+/// One output's worth of crossbar state: the packet being streamed, the
+/// hop pipeline, and the bounded ejection queue the receiver drains.
+///
+/// Ejection-side state only: safe to own exclusively in the shard that
+/// drains this port while the fabric is quiescent.
+#[derive(Debug)]
+pub struct EgressPort {
     /// Packet currently being streamed and its remaining flits.
     streaming: Option<(Packet, u64)>,
     /// Round-robin pointer over inputs.
@@ -49,6 +149,173 @@ struct Output {
     /// Free slots the output may still claim in its ejection queue
     /// (ejection capacity minus queued, streaming and in-flight packets).
     credits: usize,
+    /// Packets popped from this port (merged into
+    /// [`CrossbarStats::packets_ejected`]).
+    ejected: u64,
+}
+
+impl EgressPort {
+    fn new(cfg: &NocConfig) -> Self {
+        EgressPort {
+            streaming: None,
+            rr: 0,
+            in_flight: VecDeque::new(),
+            ejection: SimQueue::new("noc_ejection", cfg.ejection_queue),
+            credits: cfg.ejection_queue,
+            ejected: 0,
+        }
+    }
+
+    /// Takes a delivered packet, if any.
+    pub fn pop_ejected(&mut self) -> Option<Packet> {
+        let pkt = self.ejection.pop();
+        if pkt.is_some() {
+            self.credits += 1;
+            self.ejected += 1;
+        }
+        pkt
+    }
+
+    /// Peeks the next deliverable packet.
+    pub fn peek_ejected(&self) -> Option<&Packet> {
+        self.ejection.front()
+    }
+
+    /// True when nothing is streaming, in flight, or awaiting ejection.
+    pub fn is_idle(&self) -> bool {
+        self.streaming.is_none() && self.in_flight.is_empty() && self.ejection.is_empty()
+    }
+
+    /// Packets currently inside this output's pipeline.
+    pub fn packets(&self) -> usize {
+        usize::from(self.streaming.is_some()) + self.in_flight.len() + self.ejection.len()
+    }
+
+    /// Per-cycle occupancy bookkeeping.
+    pub fn observe(&mut self) {
+        self.ejection.observe();
+    }
+
+    /// Batch bookkeeping for `cycles` quiescent cycles.
+    pub fn observe_many(&mut self, cycles: u64) {
+        self.ejection.observe_many(cycles);
+    }
+
+    /// Occupancy statistics of this ejection queue.
+    pub fn queue_stats(&self) -> &QueueStats {
+        self.ejection.stats()
+    }
+}
+
+/// The arbitration core of a crossbar: hop latency, streaming bandwidth
+/// and the counters that are inherently cross-port.
+#[derive(Debug)]
+pub struct CrossbarFabric {
+    hop_latency: u64,
+    flits_per_cycle: u64,
+    flits_transferred: u64,
+    output_busy_cycles: u64,
+    credit_stall_cycles: u64,
+}
+
+impl CrossbarFabric {
+    fn new(cfg: &NocConfig) -> Self {
+        CrossbarFabric {
+            hop_latency: cfg.hop_latency,
+            flits_per_cycle: cfg.flits_per_cycle.max(1),
+            flits_transferred: 0,
+            output_busy_cycles: 0,
+            credit_stall_cycles: 0,
+        }
+    }
+
+    /// Advances the crossbar by one cycle, arbitrating the given port sets.
+    ///
+    /// The slices must be the complete port sets of this fabric, in port
+    /// order; the generic bounds let callers pass either owned slices
+    /// (`&mut [IngressPort]`, the serial facade) or slices of mutable
+    /// borrows (`&mut [&mut IngressPort]`, the parallel engine
+    /// reassembling ports held in per-shard packs).
+    pub fn tick<I, E>(&mut self, now: Cycle, inputs: &mut [I], outputs: &mut [E])
+    where
+        I: BorrowMut<IngressPort>,
+        E: BorrowMut<EgressPort>,
+    {
+        for (out_idx, out_slot) in outputs.iter_mut().enumerate() {
+            // 1. Land in-flight packets whose hop latency elapsed.
+            loop {
+                let out = out_slot.borrow_mut();
+                match out.in_flight.front() {
+                    Some((arrive, _)) if *arrive <= now && !out.ejection.is_full() => {
+                        let (_, pkt) = out.in_flight.pop_front().expect("peeked");
+                        out.ejection.push(pkt).expect("fullness checked");
+                    }
+                    _ => break,
+                }
+            }
+
+            // 2. Stream up to `flits_per_cycle` flits of the current
+            //    packet (the interconnect runs above the core clock).
+            let out = out_slot.borrow_mut();
+            if let Some((_, remaining)) = &mut out.streaming {
+                let moved = (*remaining).min(self.flits_per_cycle);
+                *remaining -= moved;
+                self.flits_transferred += moved;
+                self.output_busy_cycles += 1;
+                if *remaining == 0 {
+                    let (pkt, _) = out.streaming.take().expect("checked above");
+                    out.in_flight.push_back((now + self.hop_latency, pkt));
+                }
+                continue;
+            }
+
+            // 3. Arbitrate for a new packet (needs an ejection credit).
+            if out_slot.borrow_mut().credits == 0 {
+                let wanted = inputs.iter_mut().any(|q| {
+                    q.borrow_mut()
+                        .queue
+                        .front()
+                        .is_some_and(|p| p.dest == out_idx)
+                });
+                if wanted {
+                    self.credit_stall_cycles += 1;
+                }
+                continue;
+            }
+            let n_inputs = inputs.len();
+            let start = out_slot.borrow_mut().rr;
+            for step in 0..n_inputs {
+                let in_idx = (start + step) % n_inputs;
+                let matches = inputs[in_idx]
+                    .borrow_mut()
+                    .queue
+                    .front()
+                    .is_some_and(|p| p.dest == out_idx);
+                if !matches {
+                    continue;
+                }
+                let pkt = inputs[in_idx]
+                    .borrow_mut()
+                    .queue
+                    .pop()
+                    .expect("front checked");
+                let out = out_slot.borrow_mut();
+                out.rr = (in_idx + 1) % n_inputs;
+                out.credits -= 1;
+                // Transfer the first flit(s) this same cycle.
+                let moved = pkt.flits.min(self.flits_per_cycle);
+                self.flits_transferred += moved;
+                self.output_busy_cycles += 1;
+                if pkt.flits <= moved {
+                    out.in_flight.push_back((now + self.hop_latency, pkt));
+                } else {
+                    let remaining = pkt.flits - moved;
+                    out.streaming = Some((pkt, remaining));
+                }
+                break;
+            }
+        }
+    }
 }
 
 /// A flit-level wormhole crossbar with `inputs × outputs` ports.
@@ -69,11 +336,9 @@ struct Output {
 /// modelled faithfully.
 #[derive(Debug)]
 pub struct Crossbar {
-    inputs: Vec<SimQueue<Packet>>,
-    outputs: Vec<Output>,
-    hop_latency: u64,
-    flits_per_cycle: u64,
-    stats: CrossbarStats,
+    fabric: CrossbarFabric,
+    ingress: Vec<IngressPort>,
+    egress: Vec<EgressPort>,
 }
 
 impl Crossbar {
@@ -87,32 +352,22 @@ impl Crossbar {
         assert!(inputs > 0, "crossbar needs at least one input");
         assert!(outputs > 0, "crossbar needs at least one output");
         Crossbar {
-            inputs: (0..inputs)
-                .map(|_| SimQueue::new("noc_input", cfg.input_buffer_pkts))
+            fabric: CrossbarFabric::new(cfg),
+            ingress: (0..inputs)
+                .map(|_| IngressPort::new(cfg, outputs))
                 .collect(),
-            outputs: (0..outputs)
-                .map(|_| Output {
-                    streaming: None,
-                    rr: 0,
-                    in_flight: VecDeque::new(),
-                    ejection: SimQueue::new("noc_ejection", cfg.ejection_queue),
-                    credits: cfg.ejection_queue,
-                })
-                .collect(),
-            hop_latency: cfg.hop_latency,
-            flits_per_cycle: cfg.flits_per_cycle.max(1),
-            stats: CrossbarStats::default(),
+            egress: (0..outputs).map(|_| EgressPort::new(cfg)).collect(),
         }
     }
 
     /// Number of input ports.
     pub fn num_inputs(&self) -> usize {
-        self.inputs.len()
+        self.ingress.len()
     }
 
     /// Number of output ports.
     pub fn num_outputs(&self) -> usize {
-        self.outputs.len()
+        self.egress.len()
     }
 
     /// True if input `port` can accept a packet this cycle.
@@ -121,7 +376,7 @@ impl Crossbar {
     ///
     /// Panics if `port` is out of range.
     pub fn can_inject(&self, port: usize) -> bool {
-        !self.inputs[port].is_full()
+        self.ingress[port].can_inject()
     }
 
     /// Offers `packet` to input `port`.
@@ -135,109 +390,73 @@ impl Crossbar {
     /// Panics if `port` or the packet's destination is out of range.
     #[allow(clippy::result_large_err)] // the rejected packet is handed back by design
     pub fn try_inject(&mut self, port: usize, packet: Packet) -> Result<(), Packet> {
-        assert!(packet.dest < self.outputs.len(), "destination out of range");
-        match self.inputs[port].push(packet) {
-            Ok(()) => {
-                self.stats.packets_injected += 1;
-                Ok(())
-            }
-            Err(e) => Err(e.into_inner()),
-        }
+        self.ingress[port].try_inject(packet)
     }
 
     /// Takes a delivered packet from ejection port `port`, if any.
     pub fn pop_ejected(&mut self, port: usize) -> Option<Packet> {
-        let out = &mut self.outputs[port];
-        let pkt = out.ejection.pop();
-        if pkt.is_some() {
-            out.credits += 1;
-            self.stats.packets_ejected += 1;
-        }
-        pkt
+        self.egress[port].pop_ejected()
     }
 
     /// Peeks the next deliverable packet on ejection port `port`.
     pub fn peek_ejected(&self, port: usize) -> Option<&Packet> {
-        self.outputs[port].ejection.front()
+        self.egress[port].peek_ejected()
+    }
+
+    /// Exclusive access to input port `port` (for shard-local injection).
+    pub fn ingress_mut(&mut self, port: usize) -> &mut IngressPort {
+        &mut self.ingress[port]
+    }
+
+    /// Exclusive access to output port `port` (for shard-local draining).
+    pub fn egress_mut(&mut self, port: usize) -> &mut EgressPort {
+        &mut self.egress[port]
     }
 
     /// Advances the crossbar by one cycle.
     pub fn tick(&mut self, now: Cycle) {
-        for out_idx in 0..self.outputs.len() {
-            // 1. Land in-flight packets whose hop latency elapsed.
-            loop {
-                let out = &mut self.outputs[out_idx];
-                match out.in_flight.front() {
-                    Some((arrive, _)) if *arrive <= now && !out.ejection.is_full() => {
-                        let (_, pkt) = out.in_flight.pop_front().expect("peeked");
-                        out.ejection.push(pkt).expect("fullness checked");
-                    }
-                    _ => break,
-                }
-            }
+        self.fabric.tick(now, &mut self.ingress, &mut self.egress);
+    }
 
-            // 2. Stream up to `flits_per_cycle` flits of the current
-            //    packet (the interconnect runs above the core clock).
-            let out = &mut self.outputs[out_idx];
-            if let Some((_, remaining)) = &mut out.streaming {
-                let moved = (*remaining).min(self.flits_per_cycle);
-                *remaining -= moved;
-                self.stats.flits_transferred += moved;
-                self.stats.output_busy_cycles += 1;
-                if *remaining == 0 {
-                    let (pkt, _) = out.streaming.take().expect("checked above");
-                    out.in_flight.push_back((now + self.hop_latency, pkt));
-                }
-                continue;
-            }
+    /// Removes every port from the crossbar so they can be distributed
+    /// across per-shard packs; the facade is unusable until
+    /// [`restore_ports`](Crossbar::restore_ports) puts them back.
+    pub fn take_ports(&mut self) -> (Vec<IngressPort>, Vec<EgressPort>) {
+        (
+            std::mem::take(&mut self.ingress),
+            std::mem::take(&mut self.egress),
+        )
+    }
 
-            // 3. Arbitrate for a new packet (needs an ejection credit).
-            if self.outputs[out_idx].credits == 0 {
-                let wanted = self
-                    .inputs
-                    .iter()
-                    .any(|q| q.front().is_some_and(|p| p.dest == out_idx));
-                if wanted {
-                    self.stats.credit_stall_cycles += 1;
-                }
-                continue;
-            }
-            let n_inputs = self.inputs.len();
-            let start = self.outputs[out_idx].rr;
-            for step in 0..n_inputs {
-                let in_idx = (start + step) % n_inputs;
-                let matches = self.inputs[in_idx]
-                    .front()
-                    .is_some_and(|p| p.dest == out_idx);
-                if !matches {
-                    continue;
-                }
-                let pkt = self.inputs[in_idx].pop().expect("front checked");
-                let out = &mut self.outputs[out_idx];
-                out.rr = (in_idx + 1) % n_inputs;
-                out.credits -= 1;
-                // Transfer the first flit(s) this same cycle.
-                let moved = pkt.flits.min(self.flits_per_cycle);
-                self.stats.flits_transferred += moved;
-                self.stats.output_busy_cycles += 1;
-                if pkt.flits <= moved {
-                    out.in_flight.push_back((now + self.hop_latency, pkt));
-                } else {
-                    let remaining = pkt.flits - moved;
-                    out.streaming = Some((pkt, remaining));
-                }
-                break;
-            }
-        }
+    /// Reinstalls ports previously removed with
+    /// [`take_ports`](Crossbar::take_ports), in original port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while ports are still installed (the port vectors
+    /// must be empty) — mixing two port sets would corrupt arbitration.
+    pub fn restore_ports(&mut self, ingress: Vec<IngressPort>, egress: Vec<EgressPort>) {
+        assert!(
+            self.ingress.is_empty() && self.egress.is_empty(),
+            "restore_ports on a crossbar that still has ports"
+        );
+        self.ingress = ingress;
+        self.egress = egress;
+    }
+
+    /// The central arbitration state (for parallel tick windows while the
+    /// ports live in shard packs).
+    pub fn fabric_mut(&mut self) -> &mut CrossbarFabric {
+        &mut self.fabric
     }
 
     /// Per-cycle queue-statistics bookkeeping; call once per cycle.
     pub fn observe(&mut self) {
-        for q in &mut self.inputs {
+        for q in &mut self.ingress {
             q.observe();
         }
-        for out in &mut self.outputs {
-            out.ejection.observe();
+        for out in &mut self.egress {
+            out.observe();
         }
     }
 
@@ -245,11 +464,11 @@ impl Crossbar {
     /// packet moves (see `SimQueue::observe_many`). Callers prove such a
     /// window via [`next_event`](Crossbar::next_event).
     pub fn observe_many(&mut self, cycles: u64) {
-        for q in &mut self.inputs {
+        for q in &mut self.ingress {
             q.observe_many(cycles);
         }
-        for out in &mut self.outputs {
-            out.ejection.observe_many(cycles);
+        for out in &mut self.egress {
+            out.observe_many(cycles);
         }
     }
 
@@ -264,16 +483,16 @@ impl Crossbar {
     /// the earliest in-flight arrival (per-output FIFOs are
     /// arrival-ordered, so the fronts suffice).
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        let busy_now = self.inputs.iter().any(|q| !q.is_empty())
+        let busy_now = self.ingress.iter().any(|q| !q.is_empty())
             || self
-                .outputs
+                .egress
                 .iter()
                 .any(|o| o.streaming.is_some() || !o.ejection.is_empty());
         if busy_now {
             return Some(now);
         }
         let mut earliest: Option<Cycle> = None;
-        for out in &self.outputs {
+        for out in &self.egress {
             if let Some((arrive, _)) = out.in_flight.front() {
                 if *arrive <= now {
                     return Some(now);
@@ -290,33 +509,31 @@ impl Crossbar {
     /// True if no packet is anywhere inside the crossbar (for liveness and
     /// conservation checks).
     pub fn is_idle(&self) -> bool {
-        self.inputs.iter().all(|q| q.is_empty())
-            && self
-                .outputs
-                .iter()
-                .all(|o| o.streaming.is_none() && o.in_flight.is_empty() && o.ejection.is_empty())
+        self.ingress.iter().all(|q| q.is_empty()) && self.egress.iter().all(|o| o.is_idle())
     }
 
     /// Number of packets currently inside the crossbar.
     pub fn packets_in_network(&self) -> usize {
-        self.inputs.iter().map(|q| q.len()).sum::<usize>()
-            + self
-                .outputs
-                .iter()
-                .map(|o| usize::from(o.streaming.is_some()) + o.in_flight.len() + o.ejection.len())
-                .sum::<usize>()
+        self.ingress.iter().map(|q| q.len()).sum::<usize>()
+            + self.egress.iter().map(|o| o.packets()).sum::<usize>()
     }
 
-    /// Activity counters.
-    pub fn stats(&self) -> &CrossbarStats {
-        &self.stats
+    /// Activity counters, aggregated over the fabric and all ports.
+    pub fn stats(&self) -> CrossbarStats {
+        CrossbarStats {
+            packets_injected: self.ingress.iter().map(|p| p.injected).sum(),
+            packets_ejected: self.egress.iter().map(|p| p.ejected).sum(),
+            flits_transferred: self.fabric.flits_transferred,
+            output_busy_cycles: self.fabric.output_busy_cycles,
+            credit_stall_cycles: self.fabric.credit_stall_cycles,
+        }
     }
 
     /// Merged occupancy statistics over all input buffers.
     pub fn input_queue_stats(&self) -> QueueStats {
         let mut s = QueueStats::default();
-        for q in &self.inputs {
-            s.merge(q.stats());
+        for q in &self.ingress {
+            s.merge(q.queue_stats());
         }
         s
     }
@@ -324,8 +541,8 @@ impl Crossbar {
     /// Merged occupancy statistics over all ejection queues.
     pub fn ejection_queue_stats(&self) -> QueueStats {
         let mut s = QueueStats::default();
-        for o in &self.outputs {
-            s.merge(o.ejection.stats());
+        for o in &self.egress {
+            s.merge(o.queue_stats());
         }
         s
     }
@@ -531,5 +748,28 @@ mod tests {
     fn inject_validates_destination() {
         let mut x = Crossbar::new(1, 1, &cfg());
         let _ = x.try_inject(0, pkt(1, 5, 1));
+    }
+
+    #[test]
+    fn take_and_restore_ports_roundtrip() {
+        let mut x = Crossbar::new(2, 2, &cfg());
+        x.try_inject(0, pkt(1, 1, 3)).unwrap();
+        let (mut ins, mut outs) = x.take_ports();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(outs.len(), 2);
+        // Tick through port borrows, exactly as the parallel engine does.
+        let mut now = Cycle::ZERO;
+        for _ in 0..20 {
+            let mut iref: Vec<&mut IngressPort> = ins.iter_mut().collect();
+            let mut oref: Vec<&mut EgressPort> = outs.iter_mut().collect();
+            x.fabric_mut().tick(now, &mut iref, &mut oref);
+            now = now.next();
+        }
+        assert!(outs[1].peek_ejected().is_some());
+        x.restore_ports(ins, outs);
+        assert_eq!(x.pop_ejected(1).unwrap().fetch.id, FetchId::new(1));
+        assert!(x.is_idle());
+        assert_eq!(x.stats().packets_injected, 1);
+        assert_eq!(x.stats().packets_ejected, 1);
     }
 }

@@ -22,5 +22,5 @@
 mod crossbar;
 mod packet;
 
-pub use crossbar::{Crossbar, CrossbarStats};
+pub use crossbar::{Crossbar, CrossbarFabric, CrossbarStats, EgressPort, IngressPort};
 pub use packet::Packet;

@@ -65,7 +65,7 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-enum Backend {
+pub(crate) enum Backend {
     Hierarchy {
         req_xbar: Crossbar,
         resp_xbar: Crossbar,
@@ -74,22 +74,54 @@ enum Backend {
     Fixed(FixedLatencyMemory),
 }
 
+/// When the event-horizon scan runs during [`GpuSimulator::run`].
+///
+/// Computing the global horizon touches every warp and queue; on a
+/// congestion-bound benchmark the scan almost never finds a skippable
+/// window, so paying it every cycle is pure overhead. The policy makes the
+/// scan *lazy*: the first attempt happens only after `lazy_start` stepped
+/// cycles, each failed attempt doubles the wait (capped at
+/// `2^max_shift`), and one successful jump resets the wait to zero —
+/// idle-bound benchmarks with long runs of consecutive skippable windows
+/// still skip them back to back.
+///
+/// The policy affects wall-clock time only, never simulation results:
+/// stepping through a skippable cycle is the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipPolicy {
+    /// Stepped cycles before the first horizon scan is attempted.
+    pub lazy_start: u32,
+    /// Cap on the exponential backoff: failed attempts wait at most
+    /// `2^max_shift` cycles between scans.
+    pub max_shift: u32,
+}
+
+impl Default for SkipPolicy {
+    fn default() -> Self {
+        SkipPolicy {
+            lazy_start: 64,
+            max_shift: 10,
+        }
+    }
+}
+
 /// The assembled GPU.
 ///
 /// Construct with a validated [`GpuConfig`], a [`KernelProgram`] and a
 /// [`MemoryMode`], then call [`run`](GpuSimulator::run).
 pub struct GpuSimulator {
-    cfg: GpuConfig,
-    program: Arc<dyn KernelProgram>,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) program: Arc<dyn KernelProgram>,
     mode: MemoryMode,
-    cores: Vec<SimtCore>,
-    backend: Backend,
-    now: Cycle,
-    next_cta: u32,
-    responses_delivered: u64,
-    requests_injected: u64,
-    stepped_cycles: u64,
+    pub(crate) cores: Vec<SimtCore>,
+    pub(crate) backend: Backend,
+    pub(crate) now: Cycle,
+    pub(crate) next_cta: u32,
+    pub(crate) responses_delivered: u64,
+    pub(crate) requests_injected: u64,
+    pub(crate) stepped_cycles: u64,
     skipped_cycles: u64,
+    skip_policy: SkipPolicy,
 }
 
 impl fmt::Debug for GpuSimulator {
@@ -149,12 +181,19 @@ impl GpuSimulator {
             requests_injected: 0,
             stepped_cycles: 0,
             skipped_cycles: 0,
+            skip_policy: SkipPolicy::default(),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Overrides when [`run`](GpuSimulator::run) attempts event-horizon
+    /// scans. Affects wall-clock time only, never simulation results.
+    pub fn set_skip_policy(&mut self, policy: SkipPolicy) {
+        self.skip_policy = policy;
     }
 
     /// Current simulated cycle.
@@ -192,14 +231,14 @@ impl GpuSimulator {
 
     fn run_inner(&mut self, max_cycles: u64, skip: bool) -> Result<SimReport, SimError> {
         let wall_start = Instant::now();
-        // Computing the global horizon touches every warp and queue, so a
-        // busy machine would pay that scan each cycle for nothing. Back
-        // off exponentially (2..=32 cycles) while attempts fail; one
-        // successful jump resets to attempting every cycle. Stepping
-        // through a skippable cycle is the reference semantics anyway, so
-        // attempt timing affects only wall clock, never results.
-        let mut backoff: u32 = 0;
-        let mut failed_attempts: u32 = 0;
+        // Horizon scans run under the lazy policy (see [`SkipPolicy`]):
+        // wait `lazy_start` cycles before the first attempt, back off
+        // exponentially while attempts fail, resume scanning every cycle
+        // after one succeeds. Attempt timing affects only wall clock,
+        // never results — stepping a skippable cycle is the reference
+        // semantics anyway.
+        let mut backoff: u32 = self.skip_policy.lazy_start;
+        let mut failed_shift: u32 = 0;
         while !self.is_done() {
             if self.now.raw() >= max_cycles {
                 return Err(SimError::Watchdog {
@@ -225,10 +264,11 @@ impl GpuSimulator {
                     .min(max_cycles);
                 if horizon > self.now.raw() {
                     self.fast_forward_to(Cycle::new(horizon));
-                    failed_attempts = 0;
+                    failed_shift = 0;
+                    backoff = 0;
                 } else {
-                    failed_attempts = (failed_attempts + 1).min(5);
-                    backoff = 1 << failed_attempts;
+                    failed_shift = (failed_shift + 1).min(self.skip_policy.max_shift);
+                    backoff = 1 << failed_shift;
                 }
             }
         }
@@ -253,8 +293,33 @@ impl GpuSimulator {
             } else {
                 0.0
             },
+            threads: 1,
         });
         Ok(report)
+    }
+
+    /// Runs cycle by cycle like [`run_stepped`](GpuSimulator::run_stepped)
+    /// but shards each cycle across `threads` persistent worker threads:
+    /// cores (with their L1s) and memory partitions (L2 slice + DRAM
+    /// channel) step concurrently against the crossbar state left by the
+    /// previous cycle, and the crossbar itself ticks serially at the
+    /// barrier between the two phases.
+    ///
+    /// Deterministic by construction: every buffered injection is
+    /// committed in fixed shard order at the barrier, so the resulting
+    /// [`SimReport`] is bit-identical to `run_stepped` (modulo the
+    /// host-side [`SimReport::host`] block) for every `threads` value.
+    /// `threads <= 1` delegates to `run_stepped` directly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run_parallel(&mut self, max_cycles: u64, threads: usize) -> Result<SimReport, SimError> {
+        if threads <= 1 {
+            return self.run_stepped(max_cycles);
+        }
+        crate::parallel::run(self, max_cycles, threads)
     }
 
     /// The earliest cycle at or after [`now`](GpuSimulator::now) at which
@@ -380,8 +445,12 @@ impl GpuSimulator {
                 resp_xbar,
                 partitions,
             } => {
-                for p in partitions.iter_mut() {
-                    p.cycle(now, req_xbar, resp_xbar);
+                for (p_idx, p) in partitions.iter_mut().enumerate() {
+                    p.cycle(
+                        now,
+                        req_xbar.egress_mut(p_idx),
+                        resp_xbar.ingress_mut(p_idx),
+                    );
                 }
                 req_xbar.tick(now);
                 resp_xbar.tick(now);
@@ -389,7 +458,7 @@ impl GpuSimulator {
                 for (c, core) in self.cores.iter_mut().enumerate() {
                     // One L1 fill per cycle from the response network.
                     if let Some(pkt) = resp_xbar.pop_ejected(c) {
-                        core.accept_response(&pkt.fetch, now);
+                        core.accept_response(pkt.fetch, now);
                         self.responses_delivered += 1;
                     }
                     core.cycle(now);
@@ -417,7 +486,7 @@ impl GpuSimulator {
                 // Deliver all due responses (unlimited fill bandwidth).
                 while let Some(fetch) = mem.pop_due(now) {
                     let idx = fetch.core.index();
-                    self.cores[idx].accept_response(&fetch, now);
+                    self.cores[idx].accept_response(fetch, now);
                     self.responses_delivered += 1;
                 }
                 for core in self.cores.iter_mut() {
@@ -436,7 +505,7 @@ impl GpuSimulator {
         self.now = self.now.next();
     }
 
-    fn dispatch_ctas(&mut self) {
+    pub(crate) fn dispatch_ctas(&mut self) {
         let grid = self.program.grid_ctas();
         if self.next_cta >= grid {
             return;
@@ -476,11 +545,11 @@ impl GpuSimulator {
         }
     }
 
-    fn total_instructions(&self) -> u64 {
+    pub(crate) fn total_instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.stats().instructions).sum()
     }
 
-    fn expected_responses(&self) -> u64 {
+    pub(crate) fn expected_responses(&self) -> u64 {
         self.cores
             .iter()
             .map(|c| {
@@ -490,7 +559,7 @@ impl GpuSimulator {
             .sum()
     }
 
-    fn liveness_detail(&self) -> String {
+    pub(crate) fn liveness_detail(&self) -> String {
         let pending_cores = self
             .cores
             .iter()

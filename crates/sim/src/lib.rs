@@ -55,11 +55,12 @@
 
 mod fixed;
 mod gpu;
+mod parallel;
 mod partition;
 mod report;
 
 pub use fixed::FixedLatencyMemory;
-pub use gpu::{GpuSimulator, MemoryMode, SimError};
+pub use gpu::{GpuSimulator, MemoryMode, SimError, SkipPolicy};
 pub use partition::{L2Stats, MemoryPartition};
 pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
 

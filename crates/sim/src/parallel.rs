@@ -1,0 +1,709 @@
+//! Deterministic sharded-clock parallel stepping.
+//!
+//! [`run`] reproduces [`GpuSimulator::run_stepped`] bit for bit while
+//! spreading each cycle's work across persistent worker threads. The
+//! sharding follows the machine's natural ownership structure:
+//!
+//! * A **core shard** is a [`SimtCore`] (with its L1) plus the two
+//!   crossbar ports only that core touches — its ingress port on the
+//!   request network and its egress port on the response network.
+//! * A **partition shard** is a [`MemoryPartition`] (L2 slice + DRAM
+//!   channel) plus *its* two ports — its egress port on the request
+//!   network and its ingress port on the response network.
+//!
+//! The only state shared between shards is the crossbar fabric, and the
+//! serial [`step`](GpuSimulator::step) already orders every cycle as
+//! *partitions → fabric → cores*: partitions consume the ejection state
+//! the fabric left last cycle and buffer responses in their own ingress
+//! ports; the fabric then arbitrates across all ports; cores then consume
+//! the fresh ejections and buffer requests in their own ingress ports.
+//! Each phase touches disjoint state per shard, so the phases themselves
+//! parallelize freely and the fabric tick runs serially between them on
+//! the coordinating thread. Every queue a worker mutates is exclusively
+//! its own, every packet a worker "injects" lands in a port that belongs
+//! to exactly one shard, and ports are always presented to the fabric in
+//! fixed global order — which is why the result is deterministic for
+//! every thread count, not merely race-free.
+//!
+//! Cycle structure (hierarchy mode; four barrier crossings per cycle):
+//!
+//! ```text
+//! main: is_done? watchdog? dispatch CTAs
+//!         ── barrier 1 ──
+//! workers: partition shards step (pop req egress, L2+DRAM, push resp ingress)
+//!         ── barrier 2 ──
+//! main: request + response fabric tick over all ports in global order
+//!         ── barrier 3 ──
+//! workers: core shards step (pop resp egress, L1 fill, core cycle,
+//!          push req ingress), per-shard queue observes
+//!         ── barrier 4 ──
+//! main: advance clock, merge nothing (stats stay shard-local until exit)
+//! ```
+//!
+//! Fixed-latency mode needs only two crossings: the backend has no
+//! cross-shard structure besides the response heap, which the
+//! coordinating thread drains into per-core inboxes (preserving its
+//! `(due, seq)` pop order per core) and refills from per-core outboxes in
+//! core index order (preserving submission sequence numbers).
+//!
+//! The barriers are sense-reversing spin barriers that yield after a
+//! short spin: on hosts with fewer hardware threads than workers (CI
+//! runners, single-CPU containers) pure spinning would deadlock-by-
+//! starvation the very thread everyone is waiting for.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gpumem_noc::{Crossbar, EgressPort, IngressPort, Packet};
+use gpumem_simt::SimtCore;
+use gpumem_types::{Cycle, MemFetch, PartitionId};
+
+use crate::gpu::Backend;
+use crate::report::HostPerf;
+use crate::{FixedLatencyMemory, GpuSimulator, MemoryPartition, SimError, SimReport};
+
+/// How a parallel run ended.
+enum Outcome {
+    Done,
+    Watchdog,
+}
+
+/// A reusable sense-reversing barrier for `total` participants.
+///
+/// Spins briefly, then yields: correctness must not depend on having as
+/// many hardware threads as participants.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Reset before publishing the new generation: a racer from the
+            // next round can only touch `arrived` after it observes the
+            // bumped generation, by which time the reset is visible.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.saturating_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Contiguous `[begin, end)` ranges splitting `n` items across `chunks`
+/// shard groups. Contiguity matters: concatenating the chunks in chunk-id
+/// order must reproduce global port order for the fabric tick.
+fn split_ranges(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    (0..chunks)
+        .map(|i| ((i * n) / chunks, ((i + 1) * n) / chunks))
+        .collect()
+}
+
+/// Parameters the core phase needs, copied into every worker.
+#[derive(Clone, Copy)]
+struct CoreParams {
+    num_partitions: u64,
+    line_bytes: u64,
+    flit_bytes: u64,
+}
+
+/// One core shard: the core plus the two ports only it touches.
+struct CorePack {
+    core: SimtCore,
+    /// This core's ingress port on the request crossbar.
+    req_in: IngressPort,
+    /// This core's egress port on the response crossbar.
+    resp_out: EgressPort,
+}
+
+/// One partition shard: the partition plus the two ports only it touches.
+struct PartPack {
+    part: MemoryPartition,
+    /// This partition's egress port on the request crossbar.
+    req_out: EgressPort,
+    /// This partition's ingress port on the response crossbar.
+    resp_in: IngressPort,
+}
+
+/// Everything one worker owns, behind one mutex: workers lock only their
+/// own chunk during a phase, the coordinator locks all chunks only while
+/// every worker is parked at a barrier (so the locks never contend).
+struct HierChunk {
+    cores: Vec<CorePack>,
+    parts: Vec<PartPack>,
+    /// Responses delivered to this chunk's cores (merged on exit).
+    delivered: u64,
+    /// Requests injected by this chunk's cores (merged on exit).
+    injected: u64,
+}
+
+impl HierChunk {
+    /// Phase A: step the partition shards for `now`.
+    fn phase_partitions(&mut self, now: Cycle) {
+        for pp in &mut self.parts {
+            pp.part.cycle(now, &mut pp.req_out, &mut pp.resp_in);
+            // The serial loop observes partitions after the cores run, but
+            // core activity never touches partition-internal queues, so
+            // observing here is bit-identical and saves a phase.
+            pp.part.observe();
+        }
+    }
+
+    /// Phase B: step the core shards for `now`, then close the cycle's
+    /// statistics window for every port this chunk owns (the fabric is
+    /// quiescent again by this point).
+    fn phase_cores(&mut self, now: Cycle, params: &CoreParams) {
+        for cp in &mut self.cores {
+            // One L1 fill per cycle from the response network.
+            if let Some(pkt) = cp.resp_out.pop_ejected() {
+                cp.core.accept_response(pkt.fetch, now);
+                self.delivered += 1;
+            }
+            cp.core.cycle(now);
+            // Inject as many fill requests as the input buffer accepts.
+            while cp.core.peek_memory_request().is_some() && cp.req_in.can_inject() {
+                let mut fetch = cp.core.pop_memory_request().expect("peeked");
+                let part = (fetch.line.index() % params.num_partitions) as usize;
+                fetch.partition = Some(PartitionId::new(part as u32));
+                fetch.timeline.icnt_inject = Some(now);
+                let bytes = fetch.request_bytes(params.line_bytes);
+                let pkt = Packet::new(fetch, part, bytes, params.flit_bytes);
+                cp.req_in.try_inject(pkt).expect("can_inject checked");
+                self.injected += 1;
+            }
+            cp.core.observe();
+            cp.req_in.observe();
+            cp.resp_out.observe();
+        }
+        for pp in &mut self.parts {
+            pp.req_out.observe();
+            pp.resp_in.observe();
+        }
+    }
+
+    /// True when every shard in this chunk is drained (the chunk's share
+    /// of the serial `is_done` condition).
+    fn is_idle(&self) -> bool {
+        self.cores.iter().all(|cp| {
+            cp.core.all_ctas_retired()
+                && !cp.core.has_pending_memory()
+                && cp.req_in.is_empty()
+                && cp.resp_out.is_idle()
+        }) && self
+            .parts
+            .iter()
+            .all(|pp| pp.part.is_idle() && pp.req_out.is_idle() && pp.resp_in.is_empty())
+    }
+}
+
+/// One core shard in fixed-latency mode: responses arrive through the
+/// inbox (filled by the coordinator in backend pop order), requests leave
+/// through the outbox (drained by the coordinator in core index order so
+/// backend sequence numbers match the serial engine).
+struct FixedPack {
+    core: SimtCore,
+    inbox: Vec<MemFetch>,
+    outbox: Vec<MemFetch>,
+}
+
+struct FixedChunk {
+    cores: Vec<FixedPack>,
+}
+
+impl FixedChunk {
+    fn phase(&mut self, now: Cycle) {
+        for fp in &mut self.cores {
+            for fetch in fp.inbox.drain(..) {
+                fp.core.accept_response(fetch, now);
+            }
+            fp.core.cycle(now);
+            while let Some(mut fetch) = fp.core.pop_memory_request() {
+                fetch.timeline.icnt_inject = Some(now);
+                fp.outbox.push(fetch);
+            }
+            fp.core.observe();
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|fp| fp.core.all_ctas_retired() && !fp.core.has_pending_memory())
+    }
+}
+
+/// Runs `sim` to completion with `threads` worker threads, bit-identical
+/// to `run_stepped`. Entry point for [`GpuSimulator::run_parallel`];
+/// callers guarantee `threads >= 2`.
+pub(crate) fn run(
+    sim: &mut GpuSimulator,
+    max_cycles: u64,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    let wall_start = Instant::now();
+    let outcome = match &mut sim.backend {
+        Backend::Hierarchy {
+            req_xbar,
+            resp_xbar,
+            partitions,
+        } => run_hierarchy(
+            &mut sim.cores,
+            partitions,
+            req_xbar,
+            resp_xbar,
+            CoreParams {
+                num_partitions: sim.cfg.num_partitions as u64,
+                line_bytes: sim.cfg.line_bytes,
+                flit_bytes: sim.cfg.noc.flit_bytes,
+            },
+            HarnessState {
+                program: &*sim.program,
+                next_cta: &mut sim.next_cta,
+                now: &mut sim.now,
+                stepped_cycles: &mut sim.stepped_cycles,
+                responses_delivered: &mut sim.responses_delivered,
+                requests_injected: &mut sim.requests_injected,
+            },
+            max_cycles,
+            threads,
+        ),
+        Backend::Fixed(mem) => run_fixed(
+            &mut sim.cores,
+            mem,
+            HarnessState {
+                program: &*sim.program,
+                next_cta: &mut sim.next_cta,
+                now: &mut sim.now,
+                stepped_cycles: &mut sim.stepped_cycles,
+                responses_delivered: &mut sim.responses_delivered,
+                requests_injected: &mut sim.requests_injected,
+            },
+            max_cycles,
+            threads,
+        ),
+    };
+
+    match outcome {
+        Outcome::Watchdog => Err(SimError::Watchdog {
+            cycle: sim.now.raw(),
+            instructions: sim.total_instructions(),
+            detail: sim.liveness_detail(),
+        }),
+        Outcome::Done => {
+            debug_assert_eq!(
+                sim.responses_delivered,
+                sim.expected_responses(),
+                "every load request must receive exactly one response"
+            );
+            let wall = wall_start.elapsed().as_secs_f64();
+            let mut report = sim.report();
+            report.host = Some(HostPerf {
+                wall_seconds: wall,
+                cycles_per_sec: if wall > 0.0 {
+                    sim.now.raw() as f64 / wall
+                } else {
+                    0.0
+                },
+                stepped_cycles: sim.stepped_cycles,
+                skipped_cycles: sim.skipped_cycles(),
+                skipped_fraction: if sim.now.raw() > 0 {
+                    sim.skipped_cycles() as f64 / sim.now.raw() as f64
+                } else {
+                    0.0
+                },
+                threads: threads as u64,
+            });
+            Ok(report)
+        }
+    }
+}
+
+/// The simulator-global loop state both engines advance, borrowed
+/// field-by-field so the backend can be borrowed alongside.
+struct HarnessState<'a> {
+    program: &'a dyn gpumem_simt::KernelProgram,
+    next_cta: &'a mut u32,
+    now: &'a mut Cycle,
+    stepped_cycles: &'a mut u64,
+    responses_delivered: &'a mut u64,
+    requests_injected: &'a mut u64,
+}
+
+/// Dispatches ready CTAs over `cores` exactly like the serial
+/// `GpuSimulator::dispatch_ctas`: cores in index order, greedily.
+fn dispatch_ctas<'a>(
+    cores: impl Iterator<Item = &'a mut SimtCore>,
+    program: &dyn gpumem_simt::KernelProgram,
+    next_cta: &mut u32,
+) {
+    let grid = program.grid_ctas();
+    if *next_cta >= grid {
+        return;
+    }
+    for core in cores {
+        while *next_cta < grid && core.can_accept_cta() {
+            core.assign_cta(gpumem_types::CtaId::new(*next_cta));
+            *next_cta += 1;
+        }
+        if *next_cta >= grid {
+            break;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_hierarchy(
+    cores: &mut Vec<SimtCore>,
+    partitions: &mut Vec<MemoryPartition>,
+    req_xbar: &mut Crossbar,
+    resp_xbar: &mut Crossbar,
+    params: CoreParams,
+    state: HarnessState<'_>,
+    max_cycles: u64,
+    threads: usize,
+) -> Outcome {
+    let num_cores = cores.len();
+    let num_parts = partitions.len();
+    let core_ranges = split_ranges(num_cores, threads);
+    let part_ranges = split_ranges(num_parts, threads);
+
+    // Dismantle the machine into per-worker chunks. Draining back to
+    // front keeps `remove(lo)` O(1)-amortized-ish irrelevant at this
+    // scale; what matters is that chunk order concatenates to global
+    // port order.
+    let (req_ins, req_outs) = req_xbar.take_ports();
+    let (resp_ins, resp_outs) = resp_xbar.take_ports();
+    let mut core_src = cores.drain(..).zip(req_ins).zip(resp_outs);
+    let mut part_src = partitions.drain(..).zip(req_outs).zip(resp_ins);
+    let chunks: Vec<Mutex<HierChunk>> = (0..threads)
+        .map(|i| {
+            let (c_lo, c_hi) = core_ranges[i];
+            let (p_lo, p_hi) = part_ranges[i];
+            Mutex::new(HierChunk {
+                cores: (&mut core_src)
+                    .take(c_hi - c_lo)
+                    .map(|((core, req_in), resp_out)| CorePack {
+                        core,
+                        req_in,
+                        resp_out,
+                    })
+                    .collect(),
+                parts: (&mut part_src)
+                    .take(p_hi - p_lo)
+                    .map(|((part, req_out), resp_in)| PartPack {
+                        part,
+                        req_out,
+                        resp_in,
+                    })
+                    .collect(),
+                delivered: 0,
+                injected: 0,
+            })
+        })
+        .collect();
+    debug_assert!(core_src.next().is_none() && part_src.next().is_none());
+    drop(core_src);
+    drop(part_src);
+
+    let barrier = SpinBarrier::new(threads + 1);
+    let exit = AtomicBool::new(false);
+    let now_cell = AtomicU64::new(state.now.raw());
+
+    let outcome = std::thread::scope(|s| {
+        for chunk in &chunks {
+            let barrier = &barrier;
+            let exit = &exit;
+            let now_cell = &now_cell;
+            s.spawn(move || loop {
+                barrier.wait(); // 1: cycle start (or shutdown)
+                if exit.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = Cycle::new(now_cell.load(Ordering::Acquire));
+                chunk.lock().expect("chunk lock").phase_partitions(now);
+                barrier.wait(); // 2: partitions done → fabric may tick
+                barrier.wait(); // 3: fabric done → cores may run
+                chunk.lock().expect("chunk lock").phase_cores(now, &params);
+                barrier.wait(); // 4: cycle closed
+            });
+        }
+
+        // Coordinator loop (this thread). Workers are parked at a barrier
+        // whenever it locks chunks, so the locks never contend.
+        let outcome = loop {
+            // is_done → watchdog → dispatch, exactly the serial order.
+            {
+                let mut guards: Vec<_> = chunks
+                    .iter()
+                    .map(|c| c.lock().expect("chunk lock"))
+                    .collect();
+                let done = *state.next_cta >= state.program.grid_ctas()
+                    && guards.iter().all(|g| g.is_idle());
+                if done {
+                    exit.store(true, Ordering::Release);
+                    break Outcome::Done;
+                }
+                if state.now.raw() >= max_cycles {
+                    exit.store(true, Ordering::Release);
+                    break Outcome::Watchdog;
+                }
+                dispatch_ctas(
+                    guards
+                        .iter_mut()
+                        .flat_map(|g| g.cores.iter_mut().map(|cp| &mut cp.core)),
+                    state.program,
+                    state.next_cta,
+                );
+            }
+            let now = *state.now;
+            now_cell.store(now.raw(), Ordering::Release);
+            barrier.wait(); // 1
+            barrier.wait(); // 2: partition phase complete
+            {
+                let mut guards: Vec<_> = chunks
+                    .iter()
+                    .map(|c| c.lock().expect("chunk lock"))
+                    .collect();
+                let mut req_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_cores);
+                let mut req_outs: Vec<&mut EgressPort> = Vec::with_capacity(num_parts);
+                let mut resp_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_parts);
+                let mut resp_outs: Vec<&mut EgressPort> = Vec::with_capacity(num_cores);
+                for g in guards.iter_mut() {
+                    let chunk = &mut **g;
+                    for cp in &mut chunk.cores {
+                        req_ins.push(&mut cp.req_in);
+                        resp_outs.push(&mut cp.resp_out);
+                    }
+                    for pp in &mut chunk.parts {
+                        req_outs.push(&mut pp.req_out);
+                        resp_ins.push(&mut pp.resp_in);
+                    }
+                }
+                req_xbar.fabric_mut().tick(now, &mut req_ins, &mut req_outs);
+                resp_xbar
+                    .fabric_mut()
+                    .tick(now, &mut resp_ins, &mut resp_outs);
+            }
+            barrier.wait(); // 3
+            barrier.wait(); // 4: core phase complete
+            *state.stepped_cycles += 1;
+            *state.now = now.next();
+        };
+        barrier.wait(); // release workers into the shutdown branch
+        outcome
+    });
+
+    // Reassemble the machine. Chunk order is global order by
+    // construction, so a straight concatenation restores every index.
+    let mut req_ins = Vec::with_capacity(num_cores);
+    let mut req_outs = Vec::with_capacity(num_parts);
+    let mut resp_ins = Vec::with_capacity(num_parts);
+    let mut resp_outs = Vec::with_capacity(num_cores);
+    for chunk in chunks {
+        let chunk = chunk.into_inner().expect("worker panicked");
+        for cp in chunk.cores {
+            cores.push(cp.core);
+            req_ins.push(cp.req_in);
+            resp_outs.push(cp.resp_out);
+        }
+        for pp in chunk.parts {
+            partitions.push(pp.part);
+            req_outs.push(pp.req_out);
+            resp_ins.push(pp.resp_in);
+        }
+        *state.responses_delivered += chunk.delivered;
+        *state.requests_injected += chunk.injected;
+    }
+    req_xbar.restore_ports(req_ins, req_outs);
+    resp_xbar.restore_ports(resp_ins, resp_outs);
+    outcome
+}
+
+fn run_fixed(
+    cores: &mut Vec<SimtCore>,
+    mem: &mut FixedLatencyMemory,
+    state: HarnessState<'_>,
+    max_cycles: u64,
+    threads: usize,
+) -> Outcome {
+    let num_cores = cores.len();
+    let core_ranges = split_ranges(num_cores, threads);
+    // core index → (chunk, index within chunk), for inbox routing.
+    let locate: Vec<(usize, usize)> = core_ranges
+        .iter()
+        .enumerate()
+        .flat_map(|(chunk, &(lo, hi))| (lo..hi).map(move |c| (chunk, c - lo)))
+        .collect();
+
+    let mut core_src = cores.drain(..);
+    let chunks: Vec<Mutex<FixedChunk>> = core_ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            Mutex::new(FixedChunk {
+                cores: (&mut core_src)
+                    .take(hi - lo)
+                    .map(|core| FixedPack {
+                        core,
+                        inbox: Vec::new(),
+                        outbox: Vec::new(),
+                    })
+                    .collect(),
+            })
+        })
+        .collect();
+    debug_assert!(core_src.next().is_none());
+    drop(core_src);
+
+    let barrier = SpinBarrier::new(threads + 1);
+    let exit = AtomicBool::new(false);
+    let now_cell = AtomicU64::new(state.now.raw());
+
+    let outcome = std::thread::scope(|s| {
+        for chunk in &chunks {
+            let barrier = &barrier;
+            let exit = &exit;
+            let now_cell = &now_cell;
+            s.spawn(move || loop {
+                barrier.wait(); // 1: cycle start (or shutdown)
+                if exit.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = Cycle::new(now_cell.load(Ordering::Acquire));
+                chunk.lock().expect("chunk lock").phase(now);
+                barrier.wait(); // 2: cycle closed
+            });
+        }
+
+        let outcome = loop {
+            {
+                let mut guards: Vec<_> = chunks
+                    .iter()
+                    .map(|c| c.lock().expect("chunk lock"))
+                    .collect();
+                let done = *state.next_cta >= state.program.grid_ctas()
+                    && guards.iter().all(|g| g.is_idle())
+                    && mem.is_idle();
+                if done {
+                    exit.store(true, Ordering::Release);
+                    break Outcome::Done;
+                }
+                if state.now.raw() >= max_cycles {
+                    exit.store(true, Ordering::Release);
+                    break Outcome::Watchdog;
+                }
+                dispatch_ctas(
+                    guards
+                        .iter_mut()
+                        .flat_map(|g| g.cores.iter_mut().map(|fp| &mut fp.core)),
+                    state.program,
+                    state.next_cta,
+                );
+                // Route every due response to its core's inbox. The
+                // backend pops in (due, seq) order, so each inbox receives
+                // its core's responses in exactly the serial order.
+                let now = *state.now;
+                while let Some(fetch) = mem.pop_due(now) {
+                    let (chunk, local) = locate[fetch.core.index()];
+                    guards[chunk].cores[local].inbox.push(fetch);
+                    *state.responses_delivered += 1;
+                }
+            }
+            let now = *state.now;
+            now_cell.store(now.raw(), Ordering::Release);
+            barrier.wait(); // 1
+            barrier.wait(); // 2: core phase complete
+            {
+                // Submit buffered requests in core index order: the
+                // backend stamps arrival sequence numbers, and this order
+                // is exactly the serial engine's.
+                let mut guards: Vec<_> = chunks
+                    .iter()
+                    .map(|c| c.lock().expect("chunk lock"))
+                    .collect();
+                for g in guards.iter_mut() {
+                    for fp in &mut g.cores {
+                        for fetch in fp.outbox.drain(..) {
+                            *state.requests_injected += 1;
+                            mem.submit(fetch, now);
+                        }
+                    }
+                }
+            }
+            *state.stepped_cycles += 1;
+            *state.now = now.next();
+        };
+        barrier.wait(); // release workers into the shutdown branch
+        outcome
+    });
+
+    for chunk in chunks {
+        let chunk = chunk.into_inner().expect("worker panicked");
+        for fp in chunk.cores {
+            debug_assert!(fp.inbox.is_empty() && fp.outbox.is_empty());
+            cores.push(fp.core);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_contiguously() {
+        for n in 0..20 {
+            for chunks in 1..8 {
+                let r = split_ranges(n, chunks);
+                assert_eq!(r.len(), chunks);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r[chunks - 1].1, n);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 1..=50 {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        barrier.wait();
+                        // Between barriers every thread observes the full
+                        // round's worth of increments.
+                        assert!(counter.load(Ordering::Acquire) >= round * 4);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Acquire), 200);
+    }
+}

@@ -7,9 +7,10 @@ use std::collections::BinaryHeap;
 use gpumem_cache::{MshrTable, ReplacementOutcome, TagArray};
 use gpumem_config::GpuConfig;
 use gpumem_dram::DramChannel;
-use gpumem_noc::{Crossbar, Packet};
+use gpumem_noc::{EgressPort, IngressPort, Packet};
 use gpumem_types::{
-    AccessKind, Cycle, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimQueue,
+    AccessKind, Cycle, FetchArena, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimQueue,
+    SlotId,
 };
 
 /// Activity counters for one partition's L2 slice.
@@ -66,6 +67,20 @@ impl L2Stats {
     }
 }
 
+/// One request waiting on an outstanding L2 miss.
+///
+/// The primary (the request that allocated the MSHR entry) travels
+/// downstream *as* the DRAM request — only its original access kind stays
+/// behind, so no body is copied. Merged requests park their bodies in the
+/// partition's arena and wait as 4-byte handles.
+#[derive(Debug, Clone, Copy)]
+enum L2Waiter {
+    /// The allocating request; its body is the in-flight DRAM fetch.
+    Primary(AccessKind),
+    /// A merged request parked in the arena.
+    Merged(SlotId),
+}
+
 #[derive(Debug)]
 struct BankCompletion {
     done_at: Cycle,
@@ -111,7 +126,9 @@ pub struct MemoryPartition {
     bank_next_accept: Vec<Cycle>,
     completions: BinaryHeap<BankCompletion>,
     access_queue: SimQueue<MemFetch>,
-    mshr: MshrTable<MemFetch>,
+    mshr: MshrTable<L2Waiter>,
+    /// Parked bodies of merged misses (primaries travel to DRAM).
+    arena: FetchArena,
     /// Misses traversing the bank pipeline (tag access + request
     /// generation) before becoming eligible for the miss queue.
     miss_pipeline: std::collections::VecDeque<(Cycle, MemFetch)>,
@@ -168,6 +185,7 @@ impl MemoryPartition {
             completions: BinaryHeap::new(),
             access_queue: SimQueue::new("l2_access", cfg.l2.access_queue),
             mshr: MshrTable::new(cfg.l2.mshr_entries, cfg.l2.mshr_merge),
+            arena: FetchArena::with_capacity(cfg.l2.mshr_entries * cfg.l2.mshr_merge),
             miss_pipeline: std::collections::VecDeque::new(),
             miss_queue: SimQueue::new("l2_miss", cfg.l2.miss_queue),
             wb_queue: SimQueue::new("l2_writeback", cfg.l2.miss_queue),
@@ -194,11 +212,15 @@ impl MemoryPartition {
         (bank, set)
     }
 
-    /// Advances the partition one cycle. Pulls requests from the request
-    /// crossbar's ejection port `self.id`, pushes responses into the
-    /// response crossbar's input port `self.id`.
-    pub fn cycle(&mut self, now: Cycle, req_xbar: &mut Crossbar, resp_xbar: &mut Crossbar) {
-        self.intake(now, req_xbar);
+    /// Advances the partition one cycle. Pulls requests from its ejection
+    /// port on the request crossbar (`req_ej`), pushes responses into its
+    /// input port on the response crossbar (`resp_in`).
+    ///
+    /// Taking the two ports rather than whole crossbars is what makes a
+    /// partition shardable: these are the only pieces of interconnect
+    /// state it touches, and both are exclusively its own.
+    pub fn cycle(&mut self, now: Cycle, req_ej: &mut EgressPort, resp_in: &mut IngressPort) {
+        self.intake(now, req_ej);
         self.dram.tick(now);
         self.drain_dram_returns();
         self.process_fill(now);
@@ -206,16 +228,16 @@ impl MemoryPartition {
         self.serve_access_queue(now);
         self.drain_miss_pipeline(now);
         self.forward_misses_to_dram(now);
-        self.inject_responses(now, resp_xbar);
+        self.inject_responses(now, resp_in);
     }
 
     /// Moves one request per cycle from the crossbar ejection queue into
     /// the L2 access queue (stamping its arrival).
-    fn intake(&mut self, now: Cycle, req_xbar: &mut Crossbar) {
+    fn intake(&mut self, now: Cycle, req_ej: &mut EgressPort) {
         if self.access_queue.is_full() {
             return; // ejection queue backs up → crossbar credits stall
         }
-        if let Some(mut pkt) = req_xbar.pop_ejected(self.id.index()) {
+        if let Some(mut pkt) = req_ej.pop_ejected() {
             pkt.fetch.timeline.l2_arrive = Some(now);
             self.access_queue
                 .push(pkt.fetch)
@@ -249,7 +271,14 @@ impl MemoryPartition {
         let load_waiters = self
             .mshr
             .waiters_of(line)
-            .map(|w| w.iter().filter(|f| f.kind.is_load()).count())
+            .map(|ws| {
+                ws.iter()
+                    .filter(|w| match w {
+                        L2Waiter::Primary(kind) => kind.is_load(),
+                        L2Waiter::Merged(slot) => self.arena.get(*slot).kind.is_load(),
+                    })
+                    .count()
+            })
             .unwrap_or(0);
         if self.to_icnt.free() < load_waiters {
             self.stats.stall_fill += 1;
@@ -271,15 +300,41 @@ impl MemoryPartition {
             _ => {}
         }
 
-        let waiters = self.mshr.complete(line);
-        for mut w in waiters {
-            match w.kind {
-                AccessKind::Load => {
-                    w.timeline.dram_arrive = fill.timeline.dram_arrive;
-                    self.to_icnt.push(w).expect("room checked above");
+        // The fill *is* the primary waiter's body (it travelled to DRAM
+        // and back); merged waiters come out of the arena. Waiter order —
+        // primary first, then merges in arrival order — matches the old
+        // clone-based path exactly.
+        let dram_arrive = fill.timeline.dram_arrive;
+        let mut primary = Some(fill);
+        for w in self.mshr.complete(line) {
+            match w {
+                L2Waiter::Primary(kind) => {
+                    let body = primary.take().expect("exactly one primary per entry");
+                    match kind {
+                        // A load primary's response is the fill itself:
+                        // same id/kind/timeline as the request that
+                        // allocated the entry, dram_arrive already stamped.
+                        AccessKind::Load => {
+                            self.to_icnt.push(body).expect("room checked above");
+                        }
+                        // A store primary fetched the line write-allocate
+                        // style; it only dirties the installed line.
+                        AccessKind::Store => {
+                            self.tags[bank].mark_dirty(set, line);
+                        }
+                    }
                 }
-                AccessKind::Store => {
-                    self.tags[bank].mark_dirty(set, line);
+                L2Waiter::Merged(slot) => {
+                    let mut f = self.arena.take(slot);
+                    match f.kind {
+                        AccessKind::Load => {
+                            f.timeline.dram_arrive = dram_arrive;
+                            self.to_icnt.push(f).expect("room checked above");
+                        }
+                        AccessKind::Store => {
+                            self.tags[bank].mark_dirty(set, line);
+                        }
+                    }
                 }
             }
         }
@@ -357,7 +412,10 @@ impl MemoryPartition {
                 return;
             }
             let fetch = self.access_queue.pop().expect("front checked");
-            self.mshr.allocate(line, fetch).expect("capacity checked");
+            let slot = self.arena.insert(fetch);
+            self.mshr
+                .allocate(line, L2Waiter::Merged(slot))
+                .expect("capacity checked");
             self.stats.merged_misses += 1;
             self.bank_next_accept[bank] = now.next();
             return;
@@ -366,14 +424,17 @@ impl MemoryPartition {
             self.stats.stall_mshr += 1;
             return;
         }
-        let fetch = self.access_queue.pop().expect("front checked");
+        let mut dram_req = self.access_queue.pop().expect("front checked");
         // The downstream request always *reads* the line (write-allocate:
         // a store miss fetches the line, then the waiter dirties it). The
-        // request first traverses the bank pipeline (tag access + request
-        // generation) before becoming eligible for the miss queue.
-        let mut dram_req = fetch.clone();
+        // allocating request itself becomes the DRAM fetch — only its
+        // original kind stays behind in the MSHR entry. The request first
+        // traverses the bank pipeline (tag access + request generation)
+        // before becoming eligible for the miss queue.
+        self.mshr
+            .allocate(line, L2Waiter::Primary(dram_req.kind))
+            .expect("capacity checked");
         dram_req.kind = AccessKind::Load;
-        self.mshr.allocate(line, fetch).expect("capacity checked");
         self.stats.misses += 1;
         self.miss_pipeline
             .push_back((now + self.bank_latency, dram_req));
@@ -411,16 +472,16 @@ impl MemoryPartition {
         }
     }
 
-    /// Streams one response through the data port into the response
-    /// crossbar.
-    fn inject_responses(&mut self, now: Cycle, resp_xbar: &mut Crossbar) {
+    /// Streams one response through the data port into this partition's
+    /// input port on the response crossbar.
+    fn inject_responses(&mut self, now: Cycle, resp_in: &mut IngressPort) {
         if self.port_free_at > now {
             return;
         }
         let Some(head) = self.to_icnt.front() else {
             return;
         };
-        if !resp_xbar.can_inject(self.id.index()) {
+        if !resp_in.can_inject() {
             return;
         }
         let bytes = head
@@ -429,8 +490,8 @@ impl MemoryPartition {
         let fetch = self.to_icnt.pop().expect("front checked");
         let dest = fetch.core.index();
         let packet = Packet::new(fetch, dest, bytes, self.flit_bytes);
-        resp_xbar
-            .try_inject(self.id.index(), packet)
+        resp_in
+            .try_inject(packet)
             .expect("can_inject checked above");
         self.port_free_at = now + self.port_cycles;
     }

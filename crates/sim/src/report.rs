@@ -84,6 +84,8 @@ pub struct HostPerf {
     /// `skipped_cycles / cycles` — how much of the simulated time was
     /// provably inert and skipped.
     pub skipped_fraction: f64,
+    /// Worker threads the run used (1 for the serial engines).
+    pub threads: u64,
 }
 
 /// Everything measured in one simulation run.
@@ -200,8 +202,8 @@ pub(crate) fn build_report(
 
     let noc = match (req_xbar, resp_xbar) {
         (Some(req), Some(resp)) => Some(NocReport {
-            request: *req.stats(),
-            response: *resp.stats(),
+            request: req.stats(),
+            response: resp.stats(),
             request_inputs: req.input_queue_stats(),
             response_inputs: resp.input_queue_stats(),
         }),
@@ -267,6 +269,7 @@ mod tests {
                 stepped_cycles: 6,
                 skipped_cycles: 4,
                 skipped_fraction: 0.4,
+                threads: 1,
             }),
         };
         let json = serde_json::to_string(&r).unwrap();

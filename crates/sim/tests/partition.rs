@@ -49,7 +49,8 @@ impl Rig {
         let mut got = Vec::new();
         for _ in 0..budget {
             self.pump_outbox();
-            self.part.cycle(self.now, &mut self.req, &mut self.resp);
+            self.part
+                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0));
             self.req.tick(self.now);
             self.resp.tick(self.now);
             self.part.observe();
@@ -70,7 +71,8 @@ impl Rig {
         let mut got = Vec::new();
         for _ in 0..budget {
             self.pump_outbox();
-            self.part.cycle(self.now, &mut self.req, &mut self.resp);
+            self.part
+                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0));
             self.req.tick(self.now);
             self.resp.tick(self.now);
             for c in 0..self.cfg.num_cores {

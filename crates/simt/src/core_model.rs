@@ -259,7 +259,7 @@ impl SimtCore {
 
     /// Delivers a response from the memory system: fills the L1 and wakes
     /// every merged access.
-    pub fn accept_response(&mut self, fetch: &MemFetch, now: Cycle) {
+    pub fn accept_response(&mut self, fetch: MemFetch, now: Cycle) {
         debug_assert_eq!(fetch.core, self.id);
         let completed = self.l1.fill(fetch, now);
         for done in completed {
@@ -744,7 +744,7 @@ mod tests {
                 .collect();
             for i in due.into_iter().rev() {
                 let (_, f) = pending.remove(i);
-                core.accept_response(&f, now);
+                core.accept_response(f, now);
             }
             core.cycle(now);
             if let Some(delay) = respond_after {

@@ -47,6 +47,7 @@ mod ids;
 mod latency;
 mod queue;
 mod rng;
+mod slab;
 
 pub use addr::{Addr, LineAddr};
 pub use cycle::Cycle;
@@ -54,5 +55,6 @@ pub use fetch::{AccessKind, FetchId, FetchTimeline, MemFetch};
 pub use histogram::Histogram;
 pub use ids::{CoreId, CtaId, PartitionId, WarpId};
 pub use latency::LatencyStats;
-pub use queue::{PushError, QueueStats, SimQueue};
+pub use queue::{BoundedQueue, PushError, QueueStats, SimQueue};
 pub use rng::SimRng;
+pub use slab::{FetchArena, Slab, SlotId};

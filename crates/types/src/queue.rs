@@ -1,7 +1,6 @@
 //! Bounded FIFO queues instrumented with the occupancy statistics the
 //! paper's Section III congestion measurement is built on.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -106,6 +105,11 @@ impl QueueStats {
 /// [`observe`](SimQueue::observe) exactly once per simulated cycle so that
 /// the occupancy statistics are time-weighted.
 ///
+/// Storage is a fixed-capacity ring buffer allocated once at construction:
+/// the queue never grows (or reallocates) afterwards, which keeps the
+/// per-cycle hot path allocation-free and the memory footprint of a
+/// simulator instance exactly what its configuration implies.
+///
 /// # Example
 ///
 /// ```
@@ -122,13 +126,25 @@ impl QueueStats {
 #[derive(Debug, Clone)]
 pub struct SimQueue<T> {
     name: &'static str,
-    capacity: usize,
-    items: VecDeque<T>,
+    /// Ring storage; `slots.len()` is the fixed capacity. A slot is `Some`
+    /// exactly when it holds a queued element.
+    slots: Box<[Option<T>]>,
+    /// Index of the head element (meaningless while `len == 0`).
+    head: usize,
+    /// Number of queued elements.
+    len: usize,
     stats: QueueStats,
 }
 
+/// Alias spelling out the central property of [`SimQueue`]: bounded,
+/// preallocated, backpressuring. New code modelling a hardware queue should
+/// prefer this name.
+pub type BoundedQueue<T> = SimQueue<T>;
+
 impl<T> SimQueue<T> {
-    /// Creates an empty queue holding at most `capacity` elements.
+    /// Creates an empty queue holding at most `capacity` elements. The
+    /// backing ring buffer is allocated here, once; no later operation
+    /// allocates.
     ///
     /// # Panics
     ///
@@ -137,8 +153,9 @@ impl<T> SimQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
         SimQueue {
             name,
-            capacity,
-            items: VecDeque::with_capacity(capacity),
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             stats: QueueStats::default(),
         }
     }
@@ -150,27 +167,41 @@ impl<T> SimQueue<T> {
 
     /// Maximum number of elements.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Current number of elements.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// True if the queue holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// True if the queue is at capacity.
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        self.len >= self.slots.len()
     }
 
     /// Remaining free slots.
     pub fn free(&self) -> usize {
-        self.capacity - self.items.len()
+        self.slots.len() - self.len
+    }
+
+    /// Physical slot index of logical position `pos` (0 = head; `pos` may
+    /// equal the capacity, wrapping a full circle back to the head).
+    #[inline]
+    fn slot_of(&self, pos: usize) -> usize {
+        debug_assert!(pos <= self.slots.len());
+        let cap = self.slots.len();
+        let s = self.head + pos;
+        if s >= cap {
+            s - cap
+        } else {
+            s
+        }
     }
 
     /// Enqueues `item` at the tail.
@@ -184,7 +215,10 @@ impl<T> SimQueue<T> {
             self.stats.rejected += 1;
             Err(PushError(item))
         } else {
-            self.items.push_back(item);
+            let tail = self.slot_of(self.len);
+            debug_assert!(self.slots[tail].is_none(), "tail slot must be vacant");
+            self.slots[tail] = Some(item);
+            self.len += 1;
             self.stats.pushes += 1;
             Ok(())
         }
@@ -192,26 +226,42 @@ impl<T> SimQueue<T> {
 
     /// Dequeues from the head.
     pub fn pop(&mut self) -> Option<T> {
-        let item = self.items.pop_front();
-        if item.is_some() {
-            self.stats.pops += 1;
+        if self.len == 0 {
+            return None;
         }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "head slot must be occupied");
+        self.head = self.slot_of(1);
+        self.len -= 1;
+        self.stats.pops += 1;
         item
     }
 
     /// Peeks at the head without removing it.
     pub fn front(&self) -> Option<&T> {
-        self.items.front()
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
     }
 
     /// Mutable peek at the head.
     pub fn front_mut(&mut self) -> Option<&mut T> {
-        self.items.front_mut()
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_mut()
+        }
     }
 
     /// Iterates over queued elements from head to tail.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        (0..self.len).map(|pos| {
+            self.slots[self.slot_of(pos)]
+                .as_ref()
+                .expect("queued slot is occupied")
+        })
     }
 
     /// Removes and returns the first (oldest) element matching `pred`,
@@ -224,17 +274,30 @@ impl<T> SimQueue<T> {
     where
         F: FnMut(&T) -> bool,
     {
-        let idx = self.items.iter().position(&mut pred)?;
-        let item = self.items.remove(idx).expect("position came from iter");
+        let pos = (0..self.len).find(|&pos| {
+            pred(
+                self.slots[self.slot_of(pos)]
+                    .as_ref()
+                    .expect("queued slot is occupied"),
+            )
+        })?;
+        let item = self.slots[self.slot_of(pos)].take();
+        // Close the gap by shifting the younger elements towards the head.
+        for p in pos + 1..self.len {
+            let from = self.slot_of(p);
+            let to = self.slot_of(p - 1);
+            self.slots[to] = self.slots[from].take();
+        }
+        self.len -= 1;
         self.stats.pops += 1;
-        Some(item)
+        item
     }
 
     /// Records this cycle's occupancy. Call exactly once per simulated
     /// cycle.
     pub fn observe(&mut self) {
         self.stats.ticks += 1;
-        let len = self.items.len() as u64;
+        let len = self.len as u64;
         self.stats.occupancy_sum += len;
         if len > 0 {
             self.stats.ticks_nonempty += 1;
@@ -250,7 +313,7 @@ impl<T> SimQueue<T> {
     /// [`observe`](SimQueue::observe) `cycles` times.
     pub fn observe_many(&mut self, cycles: u64) {
         self.stats.ticks += cycles;
-        let len = self.items.len() as u64;
+        let len = self.len as u64;
         self.stats.occupancy_sum += len * cycles;
         if len > 0 {
             self.stats.ticks_nonempty += cycles;
@@ -369,6 +432,63 @@ mod tests {
         let rest: Vec<_> = q.iter().copied().collect();
         assert_eq!(rest, vec![0, 2, 3, 4, 5]);
         assert_eq!(q.stats().pops, 1);
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_fifo_without_growth() {
+        let mut q: BoundedQueue<u64> = BoundedQueue::new("ring", 4);
+        assert_eq!(q.capacity(), 4);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        // Interleave pushes and pops so the head index wraps the physical
+        // buffer many times, crossing every alignment of head vs. tail.
+        for round in 0..25u64 {
+            let pushes = 1 + (round % 4) as usize;
+            for _ in 0..pushes {
+                if q.push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            }
+            assert!(q.len() <= q.capacity(), "queue must never exceed capacity");
+            assert_eq!(q.capacity(), 4, "capacity is fixed at construction");
+            let pops = 1 + ((round + 1) % 3) as usize;
+            for _ in 0..pops {
+                if let Some(v) = q.pop() {
+                    assert_eq!(v, next_out, "FIFO order across wraparound");
+                    next_out += 1;
+                }
+            }
+        }
+        while let Some(v) = q.pop() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(
+            next_in, next_out,
+            "every pushed element popped exactly once"
+        );
+        assert!(next_in > 2 * q.capacity() as u64, "head wrapped repeatedly");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_first_where_across_wrap_boundary() {
+        let mut q = SimQueue::new("t", 4);
+        // Advance head to slot 2, then fill so elements straddle the wrap.
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        q.pop();
+        q.pop();
+        q.push(4).unwrap();
+        q.push(5).unwrap(); // physical layout: [4, 5, 2, 3], head at 2
+        assert_eq!(q.remove_first_where(|&x| x == 4), Some(4));
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![2, 3, 5]);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_empty());
     }
 
     #[test]

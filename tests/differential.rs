@@ -1,8 +1,14 @@
-//! Event-horizon skipping must be observationally invisible: for every
-//! benchmark and memory mode, [`GpuSimulator::run`] (which fast-forwards
-//! across provably inert cycles) must produce a [`SimReport`] that is
-//! bit-identical to [`GpuSimulator::run_stepped`] (the per-cycle reference
+//! Both alternative execution engines must be observationally invisible:
+//! for every benchmark and memory mode, [`GpuSimulator::run`] (which
+//! fast-forwards across provably inert cycles) and
+//! [`GpuSimulator::run_parallel`] (which shards each cycle across worker
+//! threads) must produce a [`SimReport`] that is bit-identical to
+//! [`GpuSimulator::run_stepped`] (the per-cycle serial reference
 //! semantics) in every field except the host-side wall-clock block.
+//!
+//! The thread counts exercised default to {1, 2, 4, 8} and can be
+//! overridden via `GPUMEM_DIFF_THREADS` (comma-separated), which is how
+//! the CI matrix pins specific counts.
 
 use std::sync::Arc;
 
@@ -23,31 +29,63 @@ fn kernel(name: &str) -> Arc<dyn KernelProgram> {
     Arc::new(SyntheticKernel::new(p))
 }
 
-/// Runs one benchmark both ways and asserts the reports serialize to the
-/// exact same JSON once the host block is removed.
+/// Thread counts the parallel comparisons run at.
+fn diff_threads() -> Vec<usize> {
+    match std::env::var("GPUMEM_DIFF_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad GPUMEM_DIFF_THREADS entry {t:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Serializes a report with the host block removed (it legitimately
+/// differs between engines and runs).
+fn canonical(mut report: SimReport) -> String {
+    report.host = None;
+    serde_json::to_string(&report).unwrap()
+}
+
+/// Runs one benchmark through every engine and asserts the reports
+/// serialize to the exact same JSON once the host block is removed. One
+/// stepped reference run serves all comparisons.
 fn assert_differential(cfg: &GpuConfig, name: &str, mode: MemoryMode) {
     let program = kernel(name);
-    let mut skipping = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
-    let mut stepped = GpuSimulator::new(cfg.clone(), program, mode);
-    let mut a = skipping.run(DEFAULT_MAX_CYCLES).unwrap();
-    let mut b = stepped.run_stepped(DEFAULT_MAX_CYCLES).unwrap();
-    let skipped = a.host.as_ref().map_or(0, |h| h.skipped_cycles);
+    let mut stepped = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
+    let reference = canonical(stepped.run_stepped(DEFAULT_MAX_CYCLES).unwrap());
     assert_eq!(
         stepped.skipped_cycles(),
         0,
         "{name}/{mode}: reference run must never skip"
     );
-    a.host = None;
-    b.host = None;
-    let ja = serde_json::to_string(&a).unwrap();
-    let jb = serde_json::to_string(&b).unwrap();
+
+    let mut skipping = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
+    let skipped = canonical(skipping.run(DEFAULT_MAX_CYCLES).unwrap());
     assert_eq!(
-        ja, jb,
+        skipped, reference,
         "{name}/{mode}: skipping run diverged from per-cycle reference"
     );
-    // The optimization must actually engage somewhere in the suite; the
-    // per-benchmark amount varies, so just record it for the panic message.
-    let _ = skipped;
+
+    for threads in diff_threads() {
+        let mut par = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
+        let report = par.run_parallel(DEFAULT_MAX_CYCLES, threads).unwrap();
+        assert_eq!(
+            report.host.as_ref().map(|h| h.threads),
+            Some(threads.max(1) as u64),
+            "{name}/{mode}: host block must record the thread count"
+        );
+        assert_eq!(
+            canonical(report),
+            reference,
+            "{name}/{mode}: parallel run at {threads} threads diverged \
+             from per-cycle reference"
+        );
+    }
 }
 
 #[test]
@@ -93,11 +131,16 @@ fn watchdog_fires_identically_under_skipping() {
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
         let program = kernel("cfd");
         let a = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode).run(budget);
-        let b = GpuSimulator::new(cfg.clone(), program, mode).run_stepped(budget);
+        let b = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode).run_stepped(budget);
         let a = a.expect_err("budget too small to finish");
         let b = b.expect_err("budget too small to finish");
         assert_eq!(a, b, "{mode}: watchdog divergence");
         let SimError::Watchdog { cycle, .. } = a;
         assert_eq!(cycle, budget);
+        // The parallel engine restores the machine before diagnosing, so
+        // its watchdog error must be identical too.
+        let c = GpuSimulator::new(cfg.clone(), program, mode).run_parallel(budget, 4);
+        let c = c.expect_err("budget too small to finish");
+        assert_eq!(c, b, "{mode}: parallel watchdog divergence");
     }
 }

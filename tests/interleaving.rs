@@ -105,6 +105,54 @@ fn assert_interleaving_invisible(p: &WorkloadParams, mode: MemoryMode, coin_seed
     prop_assert_eq!(ja, jb, "interleaved run diverged from stepped reference");
 }
 
+/// Runs `program` serially stepped and sharded over `threads` workers;
+/// final reports must serialize identically (host block excluded).
+fn assert_parallel_invisible(p: &WorkloadParams, mode: MemoryMode, threads: usize) {
+    let cfg = tiny_gpu();
+    let program: Arc<dyn KernelProgram> = Arc::new(SyntheticKernel::new(p.clone()));
+
+    let mut reference = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
+    let mut a = reference
+        .run_stepped(CYCLE_CAP)
+        .expect("reference run finishes");
+    let mut sim = GpuSimulator::new(cfg, program, mode);
+    let mut b = sim
+        .run_parallel(CYCLE_CAP, threads)
+        .expect("parallel run finishes");
+    a.host = None;
+    b.host = None;
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    prop_assert_eq!(ja, jb, "parallel run diverged from stepped reference");
+}
+
+proptest! {
+    #[test]
+    fn parallel_stepping_matches_serial_hierarchy(
+        knobs in (1u32..4, 1u32..3, 1u32..6, 0u32..3, 1u32..9, 0u8..4),
+        l1_reuse in 0.0f64..0.5,
+        barrier in proptest::arbitrary::any::<bool>(),
+        threads in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (ctas, warps, iters, loads, lines, pat) = knobs;
+        let p = workload(ctas, warps, iters, loads, lines, pat, l1_reuse, barrier, seed);
+        assert_parallel_invisible(&p, MemoryMode::Hierarchy, threads);
+    }
+
+    #[test]
+    fn parallel_stepping_matches_serial_fixed(
+        knobs in (1u32..4, 1u32..3, 1u32..6, 0u32..3, 1u32..9, 0u8..4),
+        latency in 0u64..1_000,
+        threads in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (ctas, warps, iters, loads, lines, pat) = knobs;
+        let p = workload(ctas, warps, iters, loads, lines, pat, 0.2, false, seed);
+        assert_parallel_invisible(&p, MemoryMode::FixedLatency(latency), threads);
+    }
+}
+
 proptest! {
     #[test]
     fn interleaved_fast_forward_matches_stepping_hierarchy(
