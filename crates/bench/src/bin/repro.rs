@@ -53,6 +53,7 @@ fn parse_args() -> Args {
     let mut threads = vec![1, 2, 4];
     let mut check = None;
     let mut command = "all".to_owned();
+    // simlint::allow(no-env, reason = "host CLI argument parsing")
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -335,11 +336,65 @@ fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usize
     summary
 }
 
+/// One benchmark's (current, baseline) speedup pair inside a gate.
+struct GatePair {
+    benchmark: String,
+    cur: f64,
+    base: f64,
+}
+
+/// Applies one ≥0.8 geomean-ratio gate and, on failure, prints the
+/// per-benchmark breakdown (worst ratio first) so a regression is
+/// diagnosable from CI logs without re-running locally.
+fn gate(label: &str, pairs: &[GatePair], failed: &mut bool) {
+    let (Some(cur), Some(base)) = (
+        geomean(pairs.iter().map(|p| p.cur)),
+        geomean(pairs.iter().map(|p| p.base)),
+    ) else {
+        return;
+    };
+    let ratio = cur / base;
+    let verdict = if ratio < 0.8 {
+        *failed = true;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!("check {label}: {cur:.2}x vs baseline {base:.2}x ({ratio:.2}) {verdict}");
+    if ratio < 0.8 {
+        let mut rows: Vec<(f64, &GatePair)> = pairs.iter().map(|p| (p.cur / p.base, p)).collect();
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (r, p) in rows {
+            let mark = if r < 0.8 { "  <-- offender" } else { "" };
+            println!(
+                "    {label} / {}: {:.2}x vs baseline {:.2}x ({r:.2}){mark}",
+                p.benchmark, p.cur, p.base
+            );
+        }
+    }
+}
+
+/// Pairs current and baseline rows benchmark-by-benchmark (within one mode
+/// filter), so the gate compares like with like and can name offenders.
+fn pair_rows<'a>(cur: impl Iterator<Item = (&'a str, f64)>, base: &[(&str, f64)]) -> Vec<GatePair> {
+    cur.filter_map(|(bench, c)| {
+        base.iter()
+            .find(|(b, _)| *b == bench)
+            .map(|&(_, v)| GatePair {
+                benchmark: bench.to_owned(),
+                cur: c,
+                base: v,
+            })
+    })
+    .collect()
+}
+
 /// Compares the freshly measured speedups against a committed baseline.
 /// Exits non-zero if any engine's per-mode geomean speedup fell below 80%
 /// of the baseline's. Ratios of speedups — not absolute throughput — are
 /// compared, so the gate is portable across hosts; a faster host can only
-/// pass more easily, never spuriously fail.
+/// pass more easily, never spuriously fail. On gate failure the offending
+/// benchmark/mode pairs are printed, worst first.
 fn check_perf(current: &PerfSummary, baseline_path: &str) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| die(&format!("cannot read {baseline_path}: {e}")));
@@ -362,26 +417,19 @@ fn check_perf(current: &PerfSummary, baseline_path: &str) {
             ))
         });
     let mut failed = false;
-    let mut gate = |label: &str, cur: Option<f64>, base: Option<f64>| {
-        let (Some(cur), Some(base)) = (cur, base) else {
-            return;
-        };
-        let ratio = cur / base;
-        let verdict = if ratio < 0.8 {
-            failed = true;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!("check {label}: {cur:.2}x vs baseline {base:.2}x ({ratio:.2}) {verdict}");
-    };
     for filter in ["hierarchy", "fixed-latency"] {
         let cur_mode = || current.rows.iter().filter(|r| r.mode.starts_with(filter));
         let base_mode = || baseline.rows.iter().filter(|r| r.mode.starts_with(filter));
+        let base_skip: Vec<(&str, f64)> = base_mode()
+            .map(|r| (r.benchmark.as_str(), r.speedup))
+            .collect();
         gate(
             &format!("{filter} skipping"),
-            geomean(cur_mode().map(|r| r.speedup)),
-            geomean(base_mode().map(|r| r.speedup)),
+            &pair_rows(
+                cur_mode().map(|r| (r.benchmark.as_str(), r.speedup)),
+                &base_skip,
+            ),
+            &mut failed,
         );
         // Match parallel points by thread count: the current sweep may be
         // narrower than the baseline's (CI runs a single count).
@@ -391,23 +439,28 @@ fn check_perf(current: &PerfSummary, baseline_path: &str) {
             .into_iter()
             .collect();
         for n in counts {
-            let cur_g = geomean(
-                cur_mode()
-                    .flat_map(|r| r.parallel.iter())
-                    .filter(|p| p.threads == n)
-                    .map(|p| p.speedup),
-            );
-            let base_g = geomean(
-                base_mode()
-                    .flat_map(|r| r.parallel.iter())
-                    .filter(|p| p.threads == n)
-                    .map(|p| p.speedup),
-            );
-            if base_g.is_none() {
+            let at = |rows: &mut dyn Iterator<Item = &PerfRow>| -> Vec<(String, f64)> {
+                rows.filter_map(|r| {
+                    r.parallel
+                        .iter()
+                        .find(|p| p.threads == n)
+                        .map(|p| (r.benchmark.clone(), p.speedup))
+                })
+                .collect()
+            };
+            let cur_at = at(&mut cur_mode());
+            let base_at = at(&mut base_mode());
+            if base_at.is_empty() {
                 println!("check {filter} parallel×{n}: no baseline, skipped");
                 continue;
             }
-            gate(&format!("{filter} parallel×{n}"), cur_g, base_g);
+            let base_refs: Vec<(&str, f64)> =
+                base_at.iter().map(|(b, v)| (b.as_str(), *v)).collect();
+            gate(
+                &format!("{filter} parallel×{n}"),
+                &pair_rows(cur_at.iter().map(|(b, v)| (b.as_str(), *v)), &base_refs),
+                &mut failed,
+            );
         }
     }
     if failed {

@@ -1,0 +1,167 @@
+//! The `// simlint::allow(<rule>, reason = "…")` escape hatch.
+//!
+//! A directive suppresses findings of the named rule on its own line (for
+//! trailing comments) and on the line immediately below (for standalone
+//! comment lines). The reason is mandatory and must be non-empty: an
+//! allowlisted site with no stated justification is itself a violation
+//! ([`crate::rules::ALLOW_SYNTAX`]), and a directive that suppresses nothing
+//! is flagged ([`crate::rules::UNUSED_ALLOW`]) so stale escapes cannot
+//! accumulate.
+
+use crate::lexer::{Tok, Token};
+use crate::report::Diagnostic;
+use crate::rules::{self, ALLOW_SYNTAX, UNUSED_ALLOW};
+
+/// One parsed `simlint::allow` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule id the directive suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the comment carrying the directive.
+    pub line: u32,
+    used: bool,
+}
+
+/// All directives of one file, plus syntax diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    directives: Vec<Directive>,
+}
+
+impl Allowlist {
+    /// Parses every directive out of a file's comment tokens. Malformed
+    /// directives become [`ALLOW_SYNTAX`] errors in `diags`.
+    pub fn collect(file: &str, comments: &[Token], diags: &mut Vec<Diagnostic>) -> Self {
+        let mut directives = Vec::new();
+        for t in comments {
+            let Tok::Comment(text) = &t.tok else { continue };
+            let trimmed = text.trim();
+            let Some(rest) = trimmed.strip_prefix("simlint::allow") else {
+                continue;
+            };
+            match parse_directive(rest) {
+                Ok((rule, reason)) => match rules::rule_info(&rule) {
+                    Some(info) if info.suppressible => directives.push(Directive {
+                        rule,
+                        reason,
+                        line: t.line,
+                        used: false,
+                    }),
+                    Some(_) => diags.push(Diagnostic::error(
+                        file,
+                        t.line,
+                        ALLOW_SYNTAX,
+                        format!("rule `{rule}` cannot be allowlisted"),
+                        "no-unsafe and the workspace-level checks have no escape hatch",
+                    )),
+                    None => diags.push(Diagnostic::error(
+                        file,
+                        t.line,
+                        ALLOW_SYNTAX,
+                        format!("unknown rule `{rule}` in simlint::allow"),
+                        "run `gpumem-lint rules` for the catalogue of rule ids",
+                    )),
+                },
+                Err(msg) => diags.push(Diagnostic::error(
+                    file,
+                    t.line,
+                    ALLOW_SYNTAX,
+                    msg,
+                    "write `// simlint::allow(<rule>, reason = \"why this site is \
+                     exempt\")`",
+                )),
+            }
+        }
+        Allowlist { directives }
+    }
+
+    /// True when a finding of `rule` at `line` is covered by a directive;
+    /// marks the directive used.
+    pub fn suppresses(&mut self, rule: &str, line: u32) -> bool {
+        for d in &mut self.directives {
+            if d.rule == rule && (d.line == line || d.line + 1 == line) {
+                d.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits an [`UNUSED_ALLOW`] warning for every directive that never
+    /// suppressed a finding.
+    pub fn unused_warnings(&self, file: &str, diags: &mut Vec<Diagnostic>) {
+        for d in &self.directives {
+            if !d.used {
+                diags.push(Diagnostic::warning(
+                    file,
+                    d.line,
+                    UNUSED_ALLOW,
+                    format!("simlint::allow({}) suppresses nothing", d.rule),
+                    "delete the stale directive",
+                ));
+            }
+        }
+    }
+
+    /// The parsed directives (for tooling and tests).
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+}
+
+/// Parses `(<rule>, reason = "…")`, returning (rule, reason).
+fn parse_directive(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|s| s.rfind(')').map(|end| &s[..end]))
+    else {
+        return Err("simlint::allow must be followed by `(<rule>, reason = \"…\")`".into());
+    };
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return Err("simlint::allow requires a reason: `(<rule>, reason = \"…\")`".into());
+    };
+    let rule = rule.trim().to_owned();
+    if rule.is_empty() {
+        return Err("simlint::allow is missing a rule id".into());
+    }
+    let reason_part = reason_part.trim();
+    let Some(value) = reason_part
+        .strip_prefix("reason")
+        .map(|s| s.trim_start())
+        .and_then(|s| s.strip_prefix('='))
+        .map(|s| s.trim())
+    else {
+        return Err("simlint::allow requires `reason = \"…\"` after the rule id".into());
+    };
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| "simlint::allow reason must be a quoted string".to_owned())?;
+    if reason.trim().is_empty() {
+        return Err("simlint::allow reason must not be empty".into());
+    }
+    Ok((rule, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let (rule, reason) =
+            parse_directive("(no-env, reason = \"host CLI argument parsing\")").unwrap();
+        assert_eq!(rule, "no-env");
+        assert_eq!(reason, "host CLI argument parsing");
+    }
+
+    #[test]
+    fn rejects_missing_or_empty_reason() {
+        assert!(parse_directive("(no-env)").is_err());
+        assert!(parse_directive("(no-env, reason = \"\")").is_err());
+        assert!(parse_directive("(no-env, because = \"x\")").is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build environment is offline, so `syn` is unavailable; simlint's rules
+//! only need a faithful *token* stream, not a syntax tree. The lexer handles
+//! everything that could make naive text matching lie about code:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * cooked strings with escapes, raw strings with arbitrary `#` fences
+//!   (`r"…"`, `r##"…"##`), byte strings (`b"…"`, `br#"…"#`),
+//! * char and byte-char literals, including the `'a` lifetime vs `'a'` char
+//!   ambiguity,
+//! * raw identifiers (`r#match`),
+//! * numeric literals with radix prefixes, `_` separators and type suffixes
+//!   (integers keep their value so the Table I manifest check can read the
+//!   `gtx480()` field initializers).
+//!
+//! Comments are kept as tokens because the `// simlint::allow(…)` escape
+//! hatch lives in them; rule matching runs on the comment-free stream.
+
+/// A lexical token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload where rules need one).
+    pub tok: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Token kinds produced by [`lex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `fn`, `unsafe`, …). Raw
+    /// identifiers are unescaped: `r#match` lexes as `Ident("match")`.
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (payload without the quote).
+    Lifetime(String),
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`. The
+    /// content is deliberately dropped — string text must never trigger a
+    /// code lint.
+    Str,
+    /// A char or byte-char literal (`'x'`, `'\n'`, `b'\0'`).
+    Char,
+    /// An integer literal whose value fits in `u64` (after stripping `_`
+    /// separators and a type suffix).
+    Int(u64),
+    /// A float literal, or an integer too large for `u64`.
+    Float,
+    /// A single punctuation character; multi-character operators arrive as
+    /// consecutive tokens (`::` is `Punct(':') Punct(':')`).
+    Punct(char),
+    /// A line or block comment; payload is the text without delimiters.
+    Comment(String),
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals and
+/// stray characters degrade to best-effort tokens, which is the right
+/// behaviour for a linter that must keep scanning.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Splits a lexed stream into (code tokens, comment tokens).
+pub fn split_comments(tokens: Vec<Token>) -> (Vec<Token>, Vec<Token>) {
+    let mut code = Vec::with_capacity(tokens.len());
+    let mut comments = Vec::new();
+    for t in tokens {
+        match t.tok {
+            Tok::Comment(_) => comments.push(t),
+            _ => code.push(t),
+        }
+    }
+    (code, comments)
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.pos + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.cooked_string();
+                self.push(Tok::Str, line);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed(line);
+            } else {
+                self.bump();
+                self.push(Tok::Punct(c), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(Tok::Comment(text), line);
+    }
+
+    /// Consumes a `"…"` string (escape-aware); the opening quote is at the
+    /// current position.
+    fn cooked_string(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string whose opening `"` is at the current position
+    /// and which is fenced by `hashes` trailing `#` characters.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime), `'a'` (char) and `'\n'` (escaped
+    /// char); the opening quote is at the current position.
+    fn quote(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('\\') => {
+                self.char_literal();
+                self.push(Tok::Char, line);
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Scan the identifier run after the quote: a closing quote
+                // right after it makes this a char literal, anything else a
+                // lifetime.
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some('\'') {
+                    self.char_literal();
+                    self.push(Tok::Char, line);
+                } else {
+                    self.bump();
+                    let mut name = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        name.push(self.bump().expect("peeked"));
+                    }
+                    self.push(Tok::Lifetime(name), line);
+                }
+            }
+            Some(_) if self.peek(2) == Some('\'') => {
+                // A non-identifier char like '(' or ' '.
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push(Tok::Char, line);
+            }
+            _ => {
+                self.bump();
+                self.push(Tok::Punct('\''), line);
+            }
+        }
+    }
+
+    /// Consumes a char literal whose opening quote is at the current
+    /// position (handles `\'`, `\\`, `\u{…}`).
+    fn char_literal(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut digits = String::new();
+        let mut radix = 10;
+        let mut float = false;
+        if self.peek(0) == Some('0') {
+            match self.peek(1) {
+                Some('x') | Some('X') => radix = 16,
+                Some('o') | Some('O') => radix = 8,
+                Some('b') | Some('B') => radix = 2,
+                _ => {}
+            }
+        }
+        if radix != 10 {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' {
+                self.bump();
+            } else if c.is_digit(radix) {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if radix == 10 {
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), Some('e') | Some('E'))
+                && self
+                    .peek(1)
+                    .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-')
+            {
+                float = true;
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `usize`, `f32`, …).
+        let mut suffix = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            suffix.push(self.bump().expect("peeked"));
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        match u64::from_str_radix(&digits, radix) {
+            Ok(v) if !float => self.push(Tok::Int(v), line),
+            _ => self.push(Tok::Float, line),
+        }
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut name = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            name.push(self.bump().expect("peeked"));
+        }
+        match name.as_str() {
+            // Raw-string / raw-identifier prefixes.
+            "r" | "br" => match self.peek(0) {
+                Some('"') => {
+                    self.raw_string(0);
+                    self.push(Tok::Str, line);
+                }
+                Some('#') => {
+                    let mut hashes = 0;
+                    while self.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(hashes) == Some('"') {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        self.raw_string(hashes);
+                        self.push(Tok::Str, line);
+                    } else if name == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start)
+                    {
+                        // Raw identifier `r#match`.
+                        self.bump();
+                        let mut raw = String::new();
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            raw.push(self.bump().expect("peeked"));
+                        }
+                        self.push(Tok::Ident(raw), line);
+                    } else {
+                        self.push(Tok::Ident(name), line);
+                    }
+                }
+                _ => self.push(Tok::Ident(name), line),
+            },
+            // Byte-string / byte-char prefixes.
+            "b" => match self.peek(0) {
+                Some('"') => {
+                    self.cooked_string();
+                    self.push(Tok::Str, line);
+                }
+                Some('\'') => {
+                    self.char_literal();
+                    self.push(Tok::Char, line);
+                }
+                _ => self.push(Tok::Ident(name), line),
+            },
+            _ => self.push(Tok::Ident(name), line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn string_content_never_becomes_idents() {
+        assert_eq!(idents(r#"let x = "HashMap unsafe Instant";"#), ["let", "x"]);
+    }
+
+    #[test]
+    fn comment_text_is_not_code() {
+        let toks = lex("// HashMap here\nlet y = 1;");
+        assert!(matches!(toks[0].tok, Tok::Comment(_)));
+        assert_eq!(idents("// HashMap\nlet y = 1;"), ["let", "y"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The `gpumem-lint` CLI.
+//!
+//! ```text
+//! gpumem-lint check [--root DIR] [--deny-all] [--paths P…]
+//! gpumem-lint rules
+//! ```
+//!
+//! * `check` — run the workspace pass (or lint just `--paths`, e.g. a
+//!   fixture, skipping the workspace-level audits). Exit 0 when clean, 1 on
+//!   violations, 2 on usage errors.
+//! * `--deny-all` — promote warnings (stale `simlint::allow` directives) to
+//!   errors; CI runs in this mode.
+//! * `rules` — print the rule catalogue.
+
+use std::path::PathBuf;
+
+use gpumem_lint::{check_paths, check_workspace, rules, LintOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: gpumem-lint check [--root DIR] [--deny-all] [--paths P…] | rules");
+    std::process::exit(2)
+}
+
+fn main() {
+    // simlint::allow(no-env, reason = "host CLI argument parsing")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = None;
+    let mut deny_all = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "rules" => command = Some(arg),
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--deny-all" => deny_all = true,
+            "--paths" => {
+                paths.extend(it.by_ref().map(PathBuf::from));
+                if paths.is_empty() {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    match command.as_deref() {
+        Some("rules") => {
+            println!("simlint rule catalogue:");
+            for r in rules::RULES {
+                let escape = if r.suppressible {
+                    "allowlistable"
+                } else {
+                    "no escape hatch"
+                };
+                println!("  {:<22} {} [{escape}]", r.id, r.summary);
+            }
+        }
+        Some("check") => {
+            let opts = LintOptions { deny_all };
+            let outcome = if paths.is_empty() {
+                let root = root.unwrap_or_else(find_workspace_root);
+                check_workspace(&root, &opts)
+            } else {
+                check_paths(&paths, &opts)
+            };
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            print!("{}", outcome.render());
+            let denied = outcome.denied(&opts).count();
+            let warnings = outcome.diagnostics.len() - denied;
+            println!(
+                "simlint: {} files scanned, {denied} violation(s), {warnings} warning(s)",
+                outcome.files_scanned
+            );
+            if denied > 0 {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Walks upward from the current directory to the first directory holding
+/// both `Cargo.toml` and `crates/`.
+fn find_workspace_root() -> PathBuf {
+    // simlint::allow(no-env, reason = "host CLI locating the workspace root")
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The machine-readable Table I manifest and its drift check.
+//!
+//! `crates/lint/table_i.json` records every paper baseline value by the
+//! `GpuConfig` field that carries it (`dram.scheduler_queue`, `l1.mshr_entries`,
+//! …). The check lexes `crates/config/src/gpu.rs`, reads the literal field
+//! initializers out of the `gtx480()` constructor, and fails with a
+//! [`TABLE_I_DRIFT`] diagnostic when any constant has drifted from the
+//! manifest — catching silent model/config drift before a single cycle runs.
+
+use std::collections::BTreeMap;
+
+use serde::Deserialize;
+
+use crate::lexer::{self, Tok, Token};
+use crate::report::Diagnostic;
+use crate::rules::TABLE_I_DRIFT;
+
+/// One row of the Table I manifest.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ManifestEntry {
+    /// Which paper table the value comes from (`I(a)`, `I(b)`, `I(c)`, or
+    /// `II` for structural geometry stated in the text).
+    pub table: String,
+    /// The paper's row label.
+    pub name: String,
+    /// Dotted `GpuConfig` field path holding the value (e.g.
+    /// `l2.mshr_entries`).
+    pub field: String,
+    /// The paper's baseline value.
+    pub baseline: u64,
+}
+
+/// Parses the manifest JSON.
+///
+/// # Errors
+///
+/// Returns a message when the JSON does not parse into manifest rows.
+pub fn parse_manifest(json: &str) -> Result<Vec<ManifestEntry>, String> {
+    serde_json::from_str(json).map_err(|e| format!("invalid Table I manifest: {e}"))
+}
+
+/// Extracts `field path -> (literal value, line)` from the `gtx480()`
+/// constructor in a lexed `gpu.rs` token stream. Nested struct literals
+/// (`dram: DramConfig { scheduler_queue: 16, … }`) contribute their field
+/// name to the dotted path.
+pub fn extract_gtx480_fields(code: &[Token]) -> BTreeMap<String, (u64, u32)> {
+    let mut fields = BTreeMap::new();
+    // Find `fn gtx480`.
+    let Some(fn_idx) = code.windows(2).position(|w| {
+        matches!(&w[0].tok, Tok::Ident(s) if s == "fn")
+            && matches!(&w[1].tok, Tok::Ident(s) if s == "gtx480")
+    }) else {
+        return fields;
+    };
+    // Find the body's opening brace.
+    let Some(open) = (fn_idx..code.len()).find(|&k| matches!(code[k].tok, Tok::Punct('{'))) else {
+        return fields;
+    };
+    let mut depth = 1usize;
+    // (depth inside the braces of this prefix, field name)
+    let mut prefixes: Vec<(usize, String)> = Vec::new();
+    let mut j = open + 1;
+    while j < code.len() && depth > 0 {
+        // `name : Type {` opens a nested struct literal named `name`;
+        // `name : <int>` records a value. Guard against path separators so
+        // `a::b` never matches.
+        if let (Tok::Ident(name), Some(Tok::Punct(':'))) =
+            (&code[j].tok, code.get(j + 1).map(|t| &t.tok))
+        {
+            let not_path = !matches!(code.get(j + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && !matches!(
+                    j.checked_sub(1).and_then(|p| code.get(p)).map(|t| &t.tok),
+                    Some(Tok::Punct(':'))
+                );
+            if not_path {
+                match (
+                    code.get(j + 2).map(|t| &t.tok),
+                    code.get(j + 3).map(|t| &t.tok),
+                ) {
+                    (Some(Tok::Ident(_)), Some(Tok::Punct('{'))) => {
+                        depth += 1;
+                        prefixes.push((depth, name.clone()));
+                        j += 4;
+                        continue;
+                    }
+                    (Some(Tok::Int(v)), _) => {
+                        let mut path = String::new();
+                        for (_, p) in &prefixes {
+                            path.push_str(p);
+                            path.push('.');
+                        }
+                        path.push_str(name);
+                        fields.insert(path, (*v, code[j + 2].line));
+                        j += 3;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match code[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if prefixes.last().is_some_and(|&(d, _)| d == depth) {
+                    prefixes.pop();
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    fields
+}
+
+/// Checks `source` (the text of `crates/config/src/gpu.rs`) against the
+/// manifest, returning one diagnostic per missing or drifted field.
+pub fn check_source(entries: &[ManifestEntry], file: &str, source: &str) -> Vec<Diagnostic> {
+    let (code, _) = lexer::split_comments(lexer::lex(source));
+    let actual = extract_gtx480_fields(&code);
+    let mut diags = Vec::new();
+    for e in entries {
+        match actual.get(&e.field) {
+            None => diags.push(Diagnostic::error(
+                file,
+                1,
+                TABLE_I_DRIFT,
+                format!(
+                    "Table {} \"{}\": field `{}` not found as a literal in gtx480()",
+                    e.table, e.name, e.field
+                ),
+                "keep every Table I baseline a named literal in GpuConfig::gtx480() \
+                 so fidelity stays statically checkable",
+            )),
+            Some(&(value, line)) if value != e.baseline => diags.push(Diagnostic::error(
+                file,
+                line,
+                TABLE_I_DRIFT,
+                format!(
+                    "Table {} \"{}\": `{}` is {} but the paper baseline is {}",
+                    e.table, e.name, e.field, value, e.baseline
+                ),
+                "restore the paper value, or update crates/lint/table_i.json in the \
+                 same commit with a justification",
+            )),
+            Some(_) => {}
+        }
+    }
+    diags
+}

@@ -1,0 +1,106 @@
+//! Diagnostic records and rendering.
+//!
+//! Every finding carries a `file:line` anchor, a stable rule id, a message
+//! and a fix hint, so a violation surfaced in CI can be acted on without
+//! re-running the tool locally.
+
+use std::fmt;
+
+/// How a diagnostic counts towards the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory by default; promoted to an error under `--deny-all`.
+    Warning,
+    /// Always fails the pass.
+    Error,
+}
+
+/// One simlint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the workspace root when
+    /// produced by a workspace check.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Stable rule id (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Whether the finding fails the pass by default.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to allowlist it when that is legitimate).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Builds an error-severity diagnostic.
+    pub fn error(
+        file: impl Into<String>,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Builds a warning-severity diagnostic.
+    pub fn warning(
+        file: impl Into<String>,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(file, line, rule, message, hint)
+        }
+    }
+
+    /// True when this diagnostic fails the pass under the given strictness.
+    pub fn is_denied(&self, deny_all: bool) -> bool {
+        self.severity == Severity::Error || deny_all
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{}:{}: {tag}[{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        if !self.hint.is_empty() {
+            write!(f, "\n    hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sorts diagnostics into deterministic (file, line, rule) order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Renders all diagnostics, one per entry, separated by newlines.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,429 @@
+//! The simlint rule catalogue and the token-level rule engine.
+//!
+//! Rules operate on the comment-free token stream from [`crate::lexer`].
+//! Determinism rules are scoped to *non-test simulation code*: files under a
+//! `tests/` directory and items inside `#[cfg(test)]` blocks are exempt,
+//! because test harnesses legitimately read the environment and hash-order
+//! nondeterminism there cannot leak into a `SimReport`.
+
+use crate::lexer::{Tok, Token};
+use crate::report::Diagnostic;
+
+/// Metadata describing one rule, surfaced by `gpumem-lint rules` and used to
+/// validate `simlint::allow` directives.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id, as written in `simlint::allow(<id>, …)`.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Whether `// simlint::allow(…)` may suppress it.
+    pub suppressible: bool,
+}
+
+/// Unordered hash containers in simulation code.
+pub const NO_HASH_COLLECTIONS: &str = "no-hash-collections";
+/// Host wall-clock reads in simulation code.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Process-environment reads in simulation code.
+pub const NO_ENV: &str = "no-env";
+/// Thread-identity-dependent code in simulation code.
+pub const NO_THREAD_ID: &str = "no-thread-id";
+/// Any `unsafe` token anywhere in the workspace.
+pub const NO_UNSAFE: &str = "no-unsafe";
+/// A `crates/*` library missing `#![forbid(unsafe_code)]`.
+pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+/// `take_ports` without a matching `restore_ports` on every path out.
+pub const PORT_PAIRING: &str = "port-pairing";
+/// A `crates/config` baseline constant drifting from the Table I manifest.
+pub const TABLE_I_DRIFT: &str = "table-i-drift";
+/// A malformed or reasonless `simlint::allow` directive.
+pub const ALLOW_SYNTAX: &str = "allow-syntax";
+/// A `simlint::allow` directive that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// The full rule catalogue.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: NO_HASH_COLLECTIONS,
+        summary: "deny HashMap/HashSet/RandomState in non-test simulation code \
+                  (iteration order is nondeterministic)",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: NO_WALL_CLOCK,
+        summary: "deny Instant/SystemTime outside the one allowlisted \
+                  host-reporting site (gpumem_types::host_wall_clock)",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: NO_ENV,
+        summary: "deny std::env reads in non-test simulation code",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: NO_THREAD_ID,
+        summary: "deny thread::current (thread-identity-dependent behaviour) \
+                  in non-test simulation code",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: NO_UNSAFE,
+        summary: "deny the `unsafe` keyword everywhere; not allowlistable",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: MISSING_FORBID_UNSAFE,
+        summary: "every crates/* library must carry #![forbid(unsafe_code)]",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: PORT_PAIRING,
+        summary: "every take_ports in a function body must pair with a \
+                  restore_ports on all paths out",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: TABLE_I_DRIFT,
+        summary: "crates/config baseline values must match the machine-readable \
+                  Table I manifest",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: ALLOW_SYNTAX,
+        summary: "simlint::allow directives must name a known suppressible rule \
+                  and give a non-empty reason",
+        suppressible: false,
+    },
+    RuleInfo {
+        id: UNUSED_ALLOW,
+        summary: "simlint::allow directives that suppress nothing are flagged \
+                  (warning; error under --deny-all)",
+        suppressible: false,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn is_punct(code: &[Token], i: usize, c: char) -> bool {
+    matches!(code.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+fn ident_at(code: &[Token], i: usize) -> Option<&str> {
+    match code.get(i) {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// True when tokens at `i` spell `a::b`.
+fn is_path2(code: &[Token], i: usize, a: &str, b: &str) -> bool {
+    ident_at(code, i) == Some(a)
+        && is_punct(code, i + 1, ':')
+        && is_punct(code, i + 2, ':')
+        && ident_at(code, i + 3) == Some(b)
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` items (and any other
+/// attribute mentioning `cfg` + `test`, e.g. `#[cfg(any(test, …))]`, but not
+/// `#[cfg(not(test))]`).
+pub fn cfg_test_spans(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(is_punct(code, i, '#') && is_punct(code, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` of the attribute.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr_end = None;
+        while j < code.len() {
+            match code[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        let attr = &code[i..=attr_end];
+        let has = |name: &str| {
+            attr.iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+        };
+        if has("cfg") && has("test") && !has("not") {
+            if let Some(span) = item_span(code, attr_end + 1, code[i].line) {
+                spans.push(span);
+            }
+        }
+        i = attr_end + 1;
+    }
+    spans
+}
+
+/// Extent of the item starting at token `start` (skipping further
+/// attributes): up to the closing brace of its first `{…}` block, or to the
+/// terminating `;` for brace-less items.
+fn item_span(code: &[Token], mut start: usize, first_line: u32) -> Option<(u32, u32)> {
+    // Skip stacked attributes.
+    while is_punct(code, start, '#') && is_punct(code, start + 1, '[') {
+        let mut depth = 0usize;
+        let mut j = start + 1;
+        loop {
+            match code.get(j).map(|t| &t.tok) {
+                Some(Tok::Punct('[')) => depth += 1,
+                Some(Tok::Punct(']')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                None => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        start = j + 1;
+    }
+    let mut k = start;
+    while k < code.len() {
+        match code[k].tok {
+            Tok::Punct(';') => return Some((first_line, code[k].line)),
+            Tok::Punct('{') => {
+                let close = matching_brace(code, k)?;
+                return Some((first_line, code[close].line));
+            }
+            _ => k += 1,
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// Runs every token-level rule over one file's comment-free stream.
+///
+/// `is_test` exempts the whole file from the determinism rules (set for
+/// files under a `tests/` directory); `#[cfg(test)]` spans are computed
+/// internally and exempt likewise.
+pub fn run(file: &str, code: &[Token], is_test: bool) -> Vec<Diagnostic> {
+    let spans = cfg_test_spans(code);
+    let mut diags = Vec::new();
+    let exempt = |line: u32| is_test || in_spans(&spans, line);
+
+    for (i, t) in code.iter().enumerate() {
+        let line = t.line;
+        if let Tok::Ident(name) = &t.tok {
+            match name.as_str() {
+                "HashMap" | "HashSet" | "RandomState" if !exempt(line) => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        line,
+                        NO_HASH_COLLECTIONS,
+                        format!("`{name}` has nondeterministic iteration order"),
+                        "use BTreeMap/BTreeSet or an index-keyed Vec; report order must \
+                         not depend on hasher state",
+                    ));
+                }
+                "Instant" | "SystemTime" if !exempt(line) => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        line,
+                        NO_WALL_CLOCK,
+                        format!("`{name}` reads the host wall clock"),
+                        "route timing through gpumem_types::host_wall_clock(), the one \
+                         allowlisted host-reporting site",
+                    ));
+                }
+                "unsafe" => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        line,
+                        NO_UNSAFE,
+                        "`unsafe` code is banned workspace-wide",
+                        "rewrite safely; every crate carries #![forbid(unsafe_code)] and \
+                         this rule is not allowlistable",
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if is_path2(code, i, "std", "env") && !exempt(line) {
+            diags.push(Diagnostic::error(
+                file,
+                line,
+                NO_ENV,
+                "`std::env` makes behaviour depend on the process environment",
+                "plumb configuration explicitly (GpuConfig / function arguments); \
+                 host CLIs may allowlist with a reason",
+            ));
+        }
+        if is_path2(code, i, "thread", "current") && !exempt(line) {
+            diags.push(Diagnostic::error(
+                file,
+                line,
+                NO_THREAD_ID,
+                "`thread::current` introduces thread-identity-dependent behaviour",
+                "shard by deterministic index instead; results must be identical at \
+                 every thread count",
+            ));
+        }
+    }
+
+    diags.extend(port_pairing(file, code));
+    diags
+}
+
+/// Token-level `take_ports`/`restore_ports` pairing inside each `fn` body.
+///
+/// Within one body, in token order: each `take_ports` call raises the
+/// outstanding count, each `restore_ports` lowers it, and while the count is
+/// positive any `return` or `?` is an early exit that leaks the crossbar's
+/// ports. The count must return to zero by the closing brace. Definition
+/// sites (`fn take_ports`) are ignored.
+fn port_pairing(file: &str, code: &[Token]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if ident_at(code, i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Locate the body's opening brace: skip the parameter parens, then
+        // take the next `{` (a `;` first means a bodyless trait fn).
+        let mut j = i + 1;
+        let mut paren = 0usize;
+        let open = loop {
+            match code.get(j).map(|t| &t.tok) {
+                Some(Tok::Punct('(')) => paren += 1,
+                Some(Tok::Punct(')')) => paren -= 1,
+                Some(Tok::Punct('{')) if paren == 0 => break Some(j),
+                Some(Tok::Punct(';')) if paren == 0 => break None,
+                None => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = matching_brace(code, open) else {
+            i += 1;
+            continue;
+        };
+        let mut outstanding: i64 = 0;
+        let mut last_take_line = code[i].line;
+        for k in open..close {
+            match &code[k].tok {
+                Tok::Ident(name)
+                    if name == "take_ports" && ident_at(code, k.wrapping_sub(1)) != Some("fn") =>
+                {
+                    outstanding += 1;
+                    last_take_line = code[k].line;
+                }
+                Tok::Ident(name)
+                    if name == "restore_ports"
+                        && ident_at(code, k.wrapping_sub(1)) != Some("fn") =>
+                {
+                    outstanding -= 1;
+                }
+                Tok::Ident(name) if name == "return" && outstanding > 0 => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        code[k].line,
+                        PORT_PAIRING,
+                        "`return` while crossbar ports are taken",
+                        format!(
+                            "restore_ports before every exit path (taken at line \
+                             {last_take_line}); the parallel engine requires the \
+                             fabric to get its ports back"
+                        ),
+                    ));
+                }
+                Tok::Punct('?') if outstanding > 0 => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        code[k].line,
+                        PORT_PAIRING,
+                        "`?` may exit while crossbar ports are taken",
+                        format!(
+                            "restore_ports before propagating errors (taken at line \
+                             {last_take_line})"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if outstanding > 0 {
+            diags.push(Diagnostic::error(
+                file,
+                last_take_line,
+                PORT_PAIRING,
+                "take_ports without a matching restore_ports in this function",
+                "call restore_ports on the same crossbar before the function returns",
+            ));
+        } else if outstanding < 0 {
+            diags.push(Diagnostic::error(
+                file,
+                code[open].line,
+                PORT_PAIRING,
+                "restore_ports without a preceding take_ports in this function",
+                "take_ports and restore_ports must pair within one function body",
+            ));
+        }
+        // Continue scanning after the `fn` keyword so nested items are still
+        // visited (their tokens are counted in the enclosing body too, which
+        // keeps balanced nests balanced).
+        i += 1;
+    }
+    diags
+}
+
+/// True when the comment-free stream contains `#![forbid(unsafe_code)]`.
+pub fn has_forbid_unsafe_attr(code: &[Token]) -> bool {
+    code.windows(8).any(|w| {
+        matches!(&w[0].tok, Tok::Punct('#'))
+            && matches!(&w[1].tok, Tok::Punct('!'))
+            && matches!(&w[2].tok, Tok::Punct('['))
+            && matches!(&w[3].tok, Tok::Ident(s) if s == "forbid")
+            && matches!(&w[4].tok, Tok::Punct('('))
+            && matches!(&w[5].tok, Tok::Ident(s) if s == "unsafe_code")
+            && matches!(&w[6].tok, Tok::Punct(')'))
+            && matches!(&w[7].tok, Tok::Punct(']'))
+    })
+}

@@ -1,0 +1,17 @@
+// Fixture: broken escape hatches.
+//
+// In order: a directive without a reason (allow-syntax error — the HashMap
+// violations below it therefore still fire), a directive naming an unknown
+// rule id, and a well-formed directive that suppresses nothing
+// (unused-allow warning).
+
+// simlint::allow(no-hash-collections)
+use std::collections::HashMap;
+
+pub fn lookup() -> Option<HashMap<u32, u32>> {
+    // simlint::allow(no-such-rule, reason = "typo")
+    None
+}
+
+// simlint::allow(no-env, reason = "nothing on the next line reads the env")
+pub fn idle() {}

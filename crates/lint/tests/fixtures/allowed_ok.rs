@@ -1,0 +1,13 @@
+// Fixture: every violation below is legitimately allowlisted with a reason,
+// so the file must lint clean (no errors, no unused-allow warnings).
+
+pub fn args() -> Vec<String> {
+    // simlint::allow(no-env, reason = "host CLI argument parsing")
+    std::env::args().collect()
+}
+
+pub fn wall() -> f64 {
+    // simlint::allow(no-wall-clock, reason = "host-side throughput reporting")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,20 @@
+// Fixture: hash containers inside #[cfg(test)] are exempt — test-only code
+// cannot leak hasher order into a SimReport. The file must lint clean.
+
+pub fn production() -> u64 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn model_check() {
+        let mut seen = HashSet::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        seen.insert(1u64);
+        model.insert(1, 2);
+        assert_eq!(model.len(), seen.len());
+    }
+}

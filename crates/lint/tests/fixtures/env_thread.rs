@@ -1,0 +1,6 @@
+// Fixture: environment reads and thread-identity dependence (2 findings).
+pub fn shard_hint() -> usize {
+    let shards = std::env::var("SHARDS").ok();
+    let _me = std::thread::current().id();
+    shards.and_then(|s| s.parse().ok()).unwrap_or(1)
+}

@@ -1,0 +1,10 @@
+// Fixture: unordered hash containers in simulation code (3 findings).
+use std::collections::HashMap;
+
+pub fn count(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,24 @@
+// Fixture: crossbar port-discipline violations.
+//
+// `leak` takes ports and never restores them; `early_exit` restores on the
+// happy path but returns while the ports are still out.
+
+pub fn leak(xbar: &mut Crossbar) -> usize {
+    let (ins, outs) = xbar.take_ports();
+    ins.len() + outs.len()
+}
+
+pub fn early_exit(xbar: &mut Crossbar, abort: bool) -> usize {
+    let (ins, outs) = xbar.take_ports();
+    if abort {
+        return 0;
+    }
+    let n = ins.len() + outs.len();
+    xbar.restore_ports(ins, outs);
+    n
+}
+
+pub fn balanced(xbar: &mut Crossbar) {
+    let (ins, outs) = xbar.take_ports();
+    xbar.restore_ports(ins, outs);
+}

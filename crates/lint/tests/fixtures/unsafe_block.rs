@@ -1,0 +1,8 @@
+// Fixture: unsafe code (2 findings: unsafe fn + unsafe block).
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn wrapper(p: *const u8) -> u8 {
+    unsafe { read_raw(p) }
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads in simulation code (2 findings: use + now()).
+use std::time::Instant;
+
+pub fn timed_step() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

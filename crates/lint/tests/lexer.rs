@@ -1,0 +1,127 @@
+//! Tokenization torture tests: the constructs that make naive text
+//! matching lie about Rust code.
+
+use gpumem_lint::lexer::{lex, split_comments, Tok};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+fn kinds(src: &str) -> Vec<Tok> {
+    lex(src).into_iter().map(|t| t.tok).collect()
+}
+
+#[test]
+fn nested_block_comments() {
+    // The inner `/* */` must not close the outer comment: `HashMap` stays
+    // commented out, `after` is code.
+    let src = "/* outer /* inner HashMap */ still comment */ after";
+    assert_eq!(idents(src), ["after"]);
+    let (code, comments) = split_comments(lex(src));
+    assert_eq!(code.len(), 1);
+    assert_eq!(comments.len(), 1);
+    assert!(
+        matches!(&comments[0].tok, Tok::Comment(text) if text.contains("inner HashMap")),
+        "nested comment keeps its text"
+    );
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    // The embedded `"#` is not enough to close an `r##` string.
+    let src = r###"let x = r##"contains "# quote and unsafe"##; done"###;
+    assert_eq!(idents(src), ["let", "x", "done"]);
+    // A raw string with no hashes closes at the first quote.
+    assert_eq!(idents(r#"let y = r"HashMap"; z"#), ["let", "y", "z"]);
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // `'a` in a generic position is a lifetime; `'a'` is a char.
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| matches!(t, Tok::Lifetime(n) if n == "a"))
+        .collect();
+    assert_eq!(lifetimes.len(), 2);
+    assert_eq!(toks.iter().filter(|t| matches!(t, Tok::Char)).count(), 1);
+    // 'static is a lifetime even with no generic bracket nearby.
+    assert!(kinds("&'static str")
+        .iter()
+        .any(|t| matches!(t, Tok::Lifetime(n) if n == "static")));
+    // Escaped char literals never lex as lifetimes.
+    assert_eq!(
+        kinds(r"'\n'")
+            .iter()
+            .filter(|t| matches!(t, Tok::Char))
+            .count(),
+        1
+    );
+    assert_eq!(
+        kinds(r"'\''")
+            .iter()
+            .filter(|t| matches!(t, Tok::Char))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    // `b"..."` and `br#"..."#` are strings, `b'x'` is a char; none leak
+    // their content as identifiers.
+    assert_eq!(idents(r#"let b1 = b"unsafe bytes";"#), ["let", "b1"]);
+    assert_eq!(
+        idents(r###"let b2 = br#"raw "unsafe" bytes"#;"###),
+        ["let", "b2"]
+    );
+    let toks = kinds(r"let c = b'\0';");
+    assert_eq!(toks.iter().filter(|t| matches!(t, Tok::Char)).count(), 1);
+    // A bare `b` stays an identifier.
+    assert_eq!(idents("let b = 1;"), ["let", "b"]);
+}
+
+#[test]
+fn raw_identifiers() {
+    assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+}
+
+#[test]
+fn numeric_literals_keep_their_value() {
+    let toks = kinds("16 0x20 1_024 32usize 2.5 1e9");
+    let ints: Vec<u64> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Tok::Int(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ints, [16, 32, 1024, 32]);
+    assert_eq!(toks.iter().filter(|t| matches!(t, Tok::Float)).count(), 2);
+}
+
+#[test]
+fn string_escapes_do_not_end_early() {
+    // The escaped quote must not terminate the string and expose `unsafe`.
+    assert_eq!(
+        idents(r#"let s = "escaped \" unsafe"; tail"#),
+        ["let", "s", "tail"]
+    );
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "a\n/* two\nlines */\nb\nr#\"raw\nstring\"#\nc";
+    let toks = lex(src);
+    let c = toks
+        .iter()
+        .find(|t| matches!(&t.tok, Tok::Ident(n) if n == "c"))
+        .expect("c lexed");
+    assert_eq!(c.line, 7);
+}

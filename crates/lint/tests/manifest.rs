@@ -1,0 +1,120 @@
+//! Table I manifest tests: the shipped manifest must match both the source
+//! literals in `crates/config/src/gpu.rs` (what the static check reads) and
+//! the *runtime* `GpuConfig::gtx480()` values (double-entry bookkeeping, so
+//! the manifest itself cannot drift from the code it guards).
+
+use std::path::Path;
+
+use gpumem_config::GpuConfig;
+use gpumem_lint::manifest::{check_source, parse_manifest, ManifestEntry};
+use gpumem_lint::EMBEDDED_MANIFEST;
+
+fn gpu_rs_source() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../config/src/gpu.rs");
+    std::fs::read_to_string(path).expect("crates/config/src/gpu.rs exists")
+}
+
+fn manifest() -> Vec<ManifestEntry> {
+    parse_manifest(EMBEDDED_MANIFEST).expect("shipped manifest parses")
+}
+
+#[test]
+fn shipped_manifest_matches_config_source() {
+    let diags = check_source(&manifest(), "gpu.rs", &gpu_rs_source());
+    assert!(diags.is_empty(), "Table I drift:\n{diags:?}");
+}
+
+#[test]
+fn manifest_covers_every_table_i_row() {
+    let m = manifest();
+    // 13 Table I rows across (a)/(b)/(c) plus 3 structural section-II
+    // values; see EXPERIMENTS.md.
+    assert_eq!(m.iter().filter(|e| e.table.starts_with("I(")).count(), 13);
+    assert_eq!(m.len(), 16);
+}
+
+#[test]
+fn perturbed_constant_is_detected() {
+    // Perturb each manifest-guarded literal in turn; every single one must
+    // trip the drift check (this is the acceptance criterion: the check
+    // fails when a crates/config baseline constant is perturbed).
+    let src = gpu_rs_source();
+    let m = manifest();
+    for e in &m {
+        let field = e.field.rsplit('.').next().expect("dotted path");
+        let needle = format!("{field}: {}", e.baseline);
+        let replacement = format!("{field}: {}", e.baseline + 1);
+        let perturbed = src.replacen(&needle, &replacement, 1);
+        assert_ne!(
+            perturbed, src,
+            "fixture perturbation for {} applied",
+            e.field
+        );
+        let diags = check_source(&m, "gpu.rs", &perturbed);
+        // Some `field: value` texts repeat across config blocks (both MSHR
+        // sizes are 32), so the flagged path may be the sibling field — what
+        // matters is that every perturbation trips the drift rule.
+        assert!(
+            diags.iter().any(|d| d.rule == "table-i-drift"),
+            "perturbing {} must be detected; got {diags:?}",
+            e.field
+        );
+    }
+}
+
+#[test]
+fn drift_diagnostic_names_field_and_both_values() {
+    let src = gpu_rs_source().replacen("scheduler_queue: 16", "scheduler_queue: 64", 1);
+    let diags = check_source(&manifest(), "gpu.rs", &src);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "table-i-drift")
+        .expect("drift detected");
+    assert!(d.message.contains("dram.scheduler_queue"));
+    assert!(
+        d.message.contains("64") && d.message.contains("16"),
+        "{}",
+        d.message
+    );
+    assert!(d.line > 0);
+}
+
+#[test]
+fn missing_field_is_detected() {
+    let src = gpu_rs_source().replace("scheduler_queue", "sched_queue_renamed");
+    let diags = check_source(&manifest(), "gpu.rs", &src);
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("dram.scheduler_queue") && d.message.contains("not found")));
+}
+
+#[test]
+fn manifest_matches_runtime_gtx480() {
+    let c = GpuConfig::gtx480();
+    for e in &manifest() {
+        let actual = match e.field.as_str() {
+            "num_cores" => c.num_cores as u64,
+            "num_partitions" => c.num_partitions as u64,
+            "line_bytes" => c.line_bytes,
+            "core.mem_pipeline_width" => c.core.mem_pipeline_width as u64,
+            "l1.mshr_entries" => c.l1.mshr_entries as u64,
+            "l1.miss_queue" => c.l1.miss_queue as u64,
+            "noc.flit_bytes" => c.noc.flit_bytes,
+            "l2.access_queue" => c.l2.access_queue as u64,
+            "l2.miss_queue" => c.l2.miss_queue as u64,
+            "l2.response_queue" => c.l2.response_queue as u64,
+            "l2.mshr_entries" => c.l2.mshr_entries as u64,
+            "l2.banks_per_partition" => c.l2.banks_per_partition as u64,
+            "l2.data_port_bytes" => c.l2.data_port_bytes,
+            "dram.scheduler_queue" => c.dram.scheduler_queue as u64,
+            "dram.banks" => c.dram.banks as u64,
+            "dram.bus_bytes" => c.dram.bus_bytes,
+            other => panic!("manifest names unknown field {other}"),
+        };
+        assert_eq!(
+            actual, e.baseline,
+            "runtime gtx480().{} disagrees with the Table {} manifest",
+            e.field, e.table
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixture-based rule tests: each file under `tests/fixtures/` seeds a known
+//! violation class (or a legitimate allowlisted site) and the engine must
+//! report exactly the expected findings.
+
+use std::path::Path;
+
+use gpumem_lint::{lint_source, Diagnostic, Severity};
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    // Fixtures stand in for production sources, so is_test = false.
+    lint_source(name, &src, false)
+}
+
+fn rule_lines(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn hash_map_fixture() {
+    let d = lint_fixture("hash_map.rs");
+    assert_eq!(rule_lines(&d, "no-hash-collections"), [2, 4, 5]);
+    assert_eq!(d.len(), 3, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let d = lint_fixture("wall_clock.rs");
+    assert_eq!(rule_lines(&d, "no-wall-clock"), [2, 5]);
+    assert_eq!(d.len(), 2, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn env_thread_fixture() {
+    let d = lint_fixture("env_thread.rs");
+    assert_eq!(rule_lines(&d, "no-env"), [3]);
+    assert_eq!(rule_lines(&d, "no-thread-id"), [4]);
+    assert_eq!(d.len(), 2, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn unsafe_fixture() {
+    let d = lint_fixture("unsafe_block.rs");
+    assert_eq!(rule_lines(&d, "no-unsafe"), [2, 7]);
+    assert_eq!(d.len(), 2, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn port_leak_fixture() {
+    let d = lint_fixture("port_leak.rs");
+    let leaks = rule_lines(&d, "port-pairing");
+    // `leak` (take at line 7, never restored), `early_exit` (return at line
+    // 14 while ports are out). `balanced` stays silent.
+    assert_eq!(leaks, [7, 14], "findings: {d:?}");
+    assert_eq!(d.len(), 2, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn allowed_fixture_is_clean() {
+    let d = lint_fixture("allowed_ok.rs");
+    assert!(d.is_empty(), "allowlisted sites must not fire: {d:?}");
+}
+
+#[test]
+fn allow_bad_fixture() {
+    let d = lint_fixture("allow_bad.rs");
+    assert_eq!(rule_lines(&d, "allow-syntax").len(), 2, "findings: {d:?}");
+    // The reasonless directive suppresses nothing, so both HashMap sites
+    // still fire.
+    assert_eq!(
+        rule_lines(&d, "no-hash-collections").len(),
+        2,
+        "findings: {d:?}"
+    );
+    let unused = rule_lines(&d, "unused-allow");
+    assert_eq!(unused.len(), 1, "findings: {d:?}");
+    assert!(d
+        .iter()
+        .filter(|x| x.rule == "unused-allow")
+        .all(|x| x.severity == Severity::Warning));
+}
+
+#[test]
+fn cfg_test_fixture_is_clean() {
+    let d = lint_fixture("cfg_test_ok.rs");
+    assert!(d.is_empty(), "#[cfg(test)] items are exempt: {d:?}");
+}
+
+#[test]
+fn test_files_are_exempt_from_determinism_rules() {
+    let src = "use std::collections::HashMap;\nfn helper() { let _ = std::env::var(\"X\"); }\n";
+    assert!(lint_source("tests/some_test.rs", src, true).is_empty());
+    // …but unsafe is denied even in tests.
+    let with_unsafe = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let d = lint_source("tests/some_test.rs", with_unsafe, true);
+    assert_eq!(rule_lines(&d, "no-unsafe"), [1]);
+}
+
+#[test]
+fn question_mark_while_ports_taken_is_flagged() {
+    let src = "fn f(x: &mut Crossbar) -> Result<(), E> {\n\
+               let (a, b) = x.take_ports();\n\
+               let v = fallible()?;\n\
+               x.restore_ports(a, b);\n\
+               Ok(())\n\
+               }\n";
+    let d = lint_source("f.rs", src, false);
+    assert_eq!(rule_lines(&d, "port-pairing"), [3], "findings: {d:?}");
+}
+
+#[test]
+fn definition_sites_do_not_count_as_calls() {
+    let src = "impl Crossbar {\n\
+               pub fn take_ports(&mut self) -> (Vec<I>, Vec<E>) { (vec![], vec![]) }\n\
+               pub fn restore_ports(&mut self, i: Vec<I>, e: Vec<E>) { drop((i, e)); }\n\
+               }\n";
+    let d = lint_source("xbar.rs", src, false);
+    assert!(d.is_empty(), "definitions are not calls: {d:?}");
+}

@@ -4,12 +4,11 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use gpumem_config::GpuConfig;
 use gpumem_noc::{Crossbar, Packet};
 use gpumem_simt::{KernelProgram, SimtCore};
-use gpumem_types::{CtaId, Cycle, PartitionId};
+use gpumem_types::{host_wall_clock, CtaId, Cycle, PartitionId};
 
 use crate::report::{build_report, HostPerf};
 use crate::{FixedLatencyMemory, MemoryPartition, SimReport};
@@ -230,7 +229,7 @@ impl GpuSimulator {
     }
 
     fn run_inner(&mut self, max_cycles: u64, skip: bool) -> Result<SimReport, SimError> {
-        let wall_start = Instant::now();
+        let wall_start = host_wall_clock();
         // Horizon scans run under the lazy policy (see [`SkipPolicy`]):
         // wait `lazy_start` cycles before the first attempt, back off
         // exponentially while attempts fail, resume scanning every cycle
@@ -277,7 +276,7 @@ impl GpuSimulator {
             self.expected_responses(),
             "every load request must receive exactly one response"
         );
-        let wall = wall_start.elapsed().as_secs_f64();
+        let wall = wall_start.elapsed_seconds();
         let mut report = self.report();
         report.host = Some(HostPerf {
             wall_seconds: wall,

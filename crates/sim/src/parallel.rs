@@ -53,11 +53,10 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use gpumem_noc::{Crossbar, EgressPort, IngressPort, Packet};
 use gpumem_simt::SimtCore;
-use gpumem_types::{Cycle, MemFetch, PartitionId};
+use gpumem_types::{host_wall_clock, Cycle, MemFetch, PartitionId};
 
 use crate::gpu::Backend;
 use crate::report::HostPerf;
@@ -261,7 +260,7 @@ pub(crate) fn run(
     max_cycles: u64,
     threads: usize,
 ) -> Result<SimReport, SimError> {
-    let wall_start = Instant::now();
+    let wall_start = host_wall_clock();
     let outcome = match &mut sim.backend {
         Backend::Hierarchy {
             req_xbar,
@@ -316,7 +315,7 @@ pub(crate) fn run(
                 sim.expected_responses(),
                 "every load request must receive exactly one response"
             );
-            let wall = wall_start.elapsed().as_secs_f64();
+            let wall = wall_start.elapsed_seconds();
             let mut report = sim.report();
             report.host = Some(HostPerf {
                 wall_seconds: wall,

@@ -43,6 +43,7 @@ mod addr;
 mod cycle;
 mod fetch;
 mod histogram;
+mod host;
 mod ids;
 mod latency;
 mod queue;
@@ -53,6 +54,7 @@ pub use addr::{Addr, LineAddr};
 pub use cycle::Cycle;
 pub use fetch::{AccessKind, FetchId, FetchTimeline, MemFetch};
 pub use histogram::Histogram;
+pub use host::{host_wall_clock, HostStopwatch};
 pub use ids::{CoreId, CtaId, PartitionId, WarpId};
 pub use latency::LatencyStats;
 pub use queue::{BoundedQueue, PushError, QueueStats, SimQueue};

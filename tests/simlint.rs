@@ -1,0 +1,42 @@
+//! Tier-1: the simlint static-analysis pass must be clean on the tree.
+//!
+//! This wires `cargo run -p gpumem-lint -- check` into `cargo test -q`: any
+//! nondeterminism hazard (unordered hash container, wall-clock read,
+//! environment read, thread-identity dependence), `unsafe` token, missing
+//! `#![forbid(unsafe_code)]`, unbalanced `take_ports`/`restore_ports`, or
+//! drift between `crates/config` and the paper's Table I manifest fails the
+//! build with `file:line` diagnostics — before any differential run could
+//! notice the symptom.
+
+use std::path::Path;
+
+use gpumem_lint::{check_workspace, LintOptions};
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let opts = LintOptions { deny_all: true };
+    let outcome = check_workspace(root, &opts).expect("simlint pass runs");
+    assert!(
+        outcome.files_scanned >= 40,
+        "suspiciously few files scanned ({}); did the tree move?",
+        outcome.files_scanned
+    );
+    let denied: Vec<String> = outcome.denied(&opts).map(|d| d.to_string()).collect();
+    assert!(
+        denied.is_empty(),
+        "simlint violations ({}):\n{}",
+        denied.len(),
+        denied.join("\n")
+    );
+}
+
+#[test]
+fn seeded_violation_is_detected() {
+    // Self-test: the pass must actually be able to fail. Lint a known-bad
+    // snippet through the same engine the workspace check uses.
+    let bad = "use std::collections::HashMap;\nfn f() { let _ = std::time::Instant::now(); }\n";
+    let diags = gpumem_lint::lint_source("seeded.rs", bad, false);
+    assert!(diags.iter().any(|d| d.rule == "no-hash-collections"));
+    assert!(diags.iter().any(|d| d.rule == "no-wall-clock"));
+}

@@ -7,6 +7,8 @@
 //! iterations and reported as mean wall-clock time per iteration — no
 //! statistics, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -10,6 +10,8 @@
 //! deterministic per-test seed so failures reproduce exactly. The case
 //! count defaults to 32 and can be raised with `PROPTEST_CASES`.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod option;

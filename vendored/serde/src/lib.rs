@@ -10,6 +10,8 @@
 //! The data model is deliberately tiny: every serializable type converts to
 //! a [`Value`], and every deserializable type reconstructs itself from one.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 #[cfg(feature = "derive")]

@@ -8,6 +8,8 @@
 //! parameters and no `#[serde(...)]` attributes — which covers every
 //! derived type in this workspace.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::fmt::Write as _;
 

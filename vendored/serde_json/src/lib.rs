@@ -5,6 +5,8 @@
 //! exactly across the full `u64`/`i64` range; floats use Rust's shortest
 //! round-trip `Display` formatting.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize, Value};
