@@ -103,7 +103,7 @@ fn bench_crossbar(c: &mut Criterion) {
                     let pkt = Packet::new(f, (i % 6) as usize, 8, cfg.noc.flit_bytes);
                     let _ = x.try_inject(input, pkt);
                 }
-                x.tick(now);
+                x.tick(now).unwrap();
                 now = now.next();
                 for o in 0..6 {
                     while x.pop_ejected(o).is_some() {
@@ -131,7 +131,7 @@ fn bench_dram(c: &mut Criterion) {
                 if d.can_accept(AccessKind::Load) && i % 2 == 0 {
                     let _ = d.try_push(fetch(i, rng.gen_range(1_000_000)), now);
                 }
-                d.tick(now);
+                d.tick(now).unwrap();
                 now = now.next();
                 while d.pop_return().is_some() {
                     done += 1;

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE]
-//!       [fig1|congestion|dse|table1|latency|ablation|perf|all]
+//!       [--seeds N] [--wedge-self-test]
+//!       [fig1|congestion|dse|table1|latency|ablation|perf|chaos|all]
 //! ```
 //!
 //! * `fig1`       — Fig. 1 latency-tolerance sweep (17 points × 8 benchmarks)
@@ -15,7 +16,15 @@
 //! * `perf`       — host throughput: per-cycle stepping vs event-horizon
 //!   skipping vs sharded parallel stepping (cycles/sec, skipped fraction,
 //!   per-thread-count speedups)
-//! * `all`        — everything above except `perf` (default)
+//! * `chaos`      — deterministic fault-injection sweep: each seed expands
+//!   into a bit-identical fault schedule (crossbar port holds and
+//!   head-of-queue rotations, MSHR stalls, DRAM lockouts); every seed is
+//!   run twice serially and once per parallel thread count, and all runs
+//!   must agree bit-for-bit. `--seeds N` sets the sweep width (default 4);
+//!   `--wedge-self-test` instead wedges the response network on purpose
+//!   and requires the watchdog to fire within its horizon with a
+//!   structured diagnosis naming the blocked component chain.
+//! * `all`        — everything above except `perf` and `chaos` (default)
 //!
 //! `--scale F` scales the workloads (grid × F, iterations × √F) for quick
 //! runs; the shipped EXPERIMENTS.md numbers use the full scale (1.0).
@@ -37,6 +46,7 @@ use gpumem::experiments::design_space::design_space_exploration;
 use gpumem::experiments::latency_tolerance::{latency_tolerance_profile, FIG1_LATENCIES};
 use gpumem::prelude::*;
 use gpumem::text;
+use gpumem_sim::{ChaosConfig, SimError};
 use gpumem_simt::KernelProgram;
 
 struct Args {
@@ -44,6 +54,8 @@ struct Args {
     json_dir: Option<String>,
     threads: Vec<usize>,
     check: Option<String>,
+    seeds: u64,
+    wedge_self_test: bool,
     command: String,
 }
 
@@ -52,6 +64,8 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut threads = vec![1, 2, 4];
     let mut check = None;
+    let mut seeds = 4;
+    let mut wedge_self_test = false;
     let mut command = "all".to_owned();
     // simlint::allow(no-env, reason = "host CLI argument parsing")
     let mut it = std::env::args().skip(1);
@@ -88,7 +102,16 @@ fn parse_args() -> Args {
             "--check" => {
                 check = Some(it.next().unwrap_or_else(|| die("--check needs a file")));
             }
-            "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf" | "all" => {
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--seeds needs a positive count"));
+            }
+            "--wedge-self-test" => wedge_self_test = true,
+            "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf"
+            | "chaos" | "all" => {
                 command = arg;
             }
             other => die(&format!("unknown argument: {other}")),
@@ -99,6 +122,8 @@ fn parse_args() -> Args {
         json_dir,
         threads,
         check,
+        seeds,
+        wedge_self_test,
         command,
     }
 }
@@ -107,7 +132,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE] \
-         [fig1|congestion|dse|table1|latency|ablation|perf|all]"
+         [--seeds N] [--wedge-self-test] \
+         [fig1|congestion|dse|table1|latency|ablation|perf|chaos|all]"
     );
     std::process::exit(2)
 }
@@ -470,6 +496,153 @@ fn check_perf(current: &PerfSummary, baseline_path: &str) {
     println!("perf check against {baseline_path}: ok");
 }
 
+/// Watchdog horizon for chaos runs: far beyond any transient fault
+/// duration (so legitimate slowdowns never trip it), far below the cycle
+/// budget (so a genuine wedge is reported in seconds, not hours).
+const CHAOS_HORIZON: u64 = 10_000;
+
+/// The chaos workload: one memory-intensive suite benchmark, scaled like
+/// every other command. Chaos only perturbs the memory hierarchy, so the
+/// sweep runs in [`MemoryMode::Hierarchy`].
+fn chaos_kernel(scale: f64) -> Arc<dyn KernelProgram> {
+    let p = gpumem_workloads::params_of("cfd")
+        .expect("known benchmark")
+        .scaled(scale);
+    Arc::new(gpumem_workloads::SyntheticKernel::new(p))
+}
+
+fn chaos_run(
+    cfg: &GpuConfig,
+    program: &Arc<dyn KernelProgram>,
+    chaos: ChaosConfig,
+    parallel_threads: Option<usize>,
+) -> Result<SimReport, SimError> {
+    let mut sim = GpuSimulator::new(cfg.clone(), Arc::clone(program), MemoryMode::Hierarchy);
+    sim.set_chaos(chaos);
+    sim.set_watchdog(Some(CHAOS_HORIZON));
+    match parallel_threads {
+        Some(n) => sim.run_parallel(gpumem::DEFAULT_MAX_CYCLES, n),
+        None => sim.run_stepped(gpumem::DEFAULT_MAX_CYCLES),
+    }
+}
+
+/// Canonical form of a chaos outcome: completed reports serialize to JSON
+/// with the host block removed (it legitimately differs between engines),
+/// typed errors to their debug form. Equal strings = bit-identical runs.
+fn chaos_canonical(outcome: &Result<SimReport, SimError>) -> String {
+    match outcome {
+        Ok(report) => {
+            let mut r = report.clone();
+            r.host = None;
+            serde_json::to_string(&r).expect("serialize report")
+        }
+        Err(e) => format!("{e:?}"),
+    }
+}
+
+/// Seeded chaos sweep: every seed's fault schedule must be bit-identical
+/// across a serial replay and every parallel thread count, whether the
+/// outcome is a completed report or a typed error.
+fn run_chaos(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize]) {
+    let program = chaos_kernel(scale);
+    println!(
+        "CHAOS SWEEP — {seeds} seed(s), standard fault mix, benchmark {}",
+        program.name()
+    );
+    let mut failed = false;
+    for seed in 0..seeds {
+        let chaos = ChaosConfig::standard(seed);
+        let first = chaos_run(cfg, &program, chaos, None);
+        let reference = chaos_canonical(&first);
+        let mut ok = true;
+        if chaos_canonical(&chaos_run(cfg, &program, chaos, None)) != reference {
+            println!("seed {seed}: serial replay diverged from the first run");
+            ok = false;
+        }
+        for &n in threads {
+            if chaos_canonical(&chaos_run(cfg, &program, chaos, Some(n))) != reference {
+                println!("seed {seed}: {n}-thread run diverged from the serial reference");
+                ok = false;
+            }
+        }
+        let label = match &first {
+            Ok(r) => format!(
+                "completed in {} cycles, {} instructions",
+                r.cycles, r.instructions
+            ),
+            Err(e) => format!("typed failure: {e}"),
+        };
+        println!(
+            "seed {seed:>3}: {label} [{}]",
+            if ok { "deterministic" } else { "DIVERGED" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("error: chaos schedules were not engine-independent");
+        std::process::exit(1);
+    }
+    println!("chaos sweep: all {seeds} seed(s) bit-identical across engines and thread counts");
+}
+
+/// Watchdog self-test: wedge the response network on purpose at a seeded
+/// cycle and require every engine to report [`SimError::Wedged`] within
+/// the horizon, with a diagnosis naming the blocked component chain.
+fn run_wedge_self_test(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize]) {
+    let program = chaos_kernel(scale);
+    println!("WATCHDOG SELF-TEST — {seeds} seeded wedge fixture(s)");
+    for seed in 0..seeds {
+        let mut chaos = ChaosConfig::standard(seed);
+        let wedge_at = 500 + 97 * seed;
+        chaos.wedge_at = Some(wedge_at);
+        let diagnosis = match chaos_run(cfg, &program, chaos, None) {
+            Err(SimError::Wedged { diagnosis }) => diagnosis,
+            Err(other) => {
+                eprintln!("error: seed {seed}: expected a wedge diagnosis, got: {other}");
+                std::process::exit(1);
+            }
+            Ok(r) => {
+                eprintln!(
+                    "error: seed {seed}: run completed ({} cycles) despite the wedge",
+                    r.cycles
+                );
+                std::process::exit(1);
+            }
+        };
+        if diagnosis
+            .cycle
+            .saturating_sub(diagnosis.last_progress_cycle)
+            != diagnosis.horizon
+        {
+            eprintln!("error: seed {seed}: watchdog fired outside its horizon: {diagnosis:?}");
+            std::process::exit(1);
+        }
+        if diagnosis.blocked_chain.is_empty() {
+            eprintln!("error: seed {seed}: diagnosis names no blocked components: {diagnosis:?}");
+            std::process::exit(1);
+        }
+        // The parallel engine restores the machine before diagnosing, so
+        // it must reach the exact same diagnosis.
+        for &n in threads {
+            match chaos_run(cfg, &program, chaos, Some(n)) {
+                Err(SimError::Wedged { diagnosis: par }) if par == diagnosis => {}
+                other => {
+                    eprintln!("error: seed {seed}: {n}-thread wedge diagnosis diverged: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "seed {seed:>3}: wedged at cycle {wedge_at}, detected at {} (horizon {}), \
+             blocked: {}",
+            diagnosis.cycle,
+            diagnosis.horizon,
+            diagnosis.blocked_chain.join(" -> "),
+        );
+    }
+    println!("watchdog self-test: every seeded wedge detected within the horizon");
+}
+
 fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
     eprintln!("ablation: scaling each Table I row individually ...");
     let study = ablation_study(cfg, &suite(scale)).expect("ablation study completes");
@@ -499,6 +672,13 @@ fn main() {
             }
         }
         "latency" => run_latency(&cfg, args.scale, &args.json_dir),
+        "chaos" => {
+            if args.wedge_self_test {
+                run_wedge_self_test(&cfg, args.scale, args.seeds, &args.threads);
+            } else {
+                run_chaos(&cfg, args.scale, args.seeds, &args.threads);
+            }
+        }
         "all" => {
             println!("{}", text::table_i());
             run_latency(&cfg, args.scale, &args.json_dir);

@@ -201,9 +201,14 @@ impl L1Dcache {
                     fetch.timeline.l1_miss = Some(now);
                     let line = fetch.line;
                     let slot = self.arena.insert(fetch);
-                    self.mshr
-                        .allocate(line, Some(slot))
-                        .expect("capacity checked above");
+                    if self.mshr.allocate(line, Some(slot)).is_err() {
+                        // Unreachable after can_accept; recover the body and
+                        // stall rather than panic in the model hot path.
+                        let mut fetch = self.arena.take(slot);
+                        fetch.timeline.l1_miss = None;
+                        self.stats.mshr_merge_stalls += 1;
+                        return L1AccessOutcome::Blocked(fetch, L1BlockReason::MshrMergeCapacity);
+                    }
                     self.stats.load_misses += 1;
                     self.stats.merged_misses += 1;
                     return L1AccessOutcome::Miss { merged: true };
@@ -221,10 +226,23 @@ impl L1Dcache {
                 // The primary access is not copied: its body travels down
                 // the hierarchy as the fill request and comes back through
                 // `fill`, which reconstitutes it from the response.
-                self.mshr
-                    .allocate(fetch.line, None)
-                    .expect("capacity checked above");
-                self.miss_queue.push(fetch).expect("fullness checked above");
+                if self.mshr.allocate(fetch.line, None).is_err() {
+                    // Unreachable after can_accept; stall rather than panic.
+                    fetch.timeline.l1_miss = None;
+                    self.stats.load_misses -= 1;
+                    self.stats.mshr_full_stalls += 1;
+                    return L1AccessOutcome::Blocked(fetch, L1BlockReason::MshrFull);
+                }
+                if let Err(e) = self.miss_queue.push(fetch) {
+                    // Unreachable after is_full; undo the allocation and
+                    // stall rather than panic.
+                    let mut fetch = e.into_inner();
+                    self.mshr.complete(fetch.line);
+                    fetch.timeline.l1_miss = None;
+                    self.stats.load_misses -= 1;
+                    self.stats.miss_queue_stalls += 1;
+                    return L1AccessOutcome::Blocked(fetch, L1BlockReason::MissQueueFull);
+                }
                 L1AccessOutcome::Miss { merged: false }
             }
             AccessKind::Store => {
@@ -236,7 +254,14 @@ impl L1Dcache {
                 self.tags.touch(set, fetch.line, now);
                 fetch.timeline.l1_miss = Some(now);
                 self.stats.stores += 1;
-                self.miss_queue.push(fetch).expect("fullness checked above");
+                if let Err(e) = self.miss_queue.push(fetch) {
+                    // Unreachable after is_full; stall rather than panic.
+                    let mut fetch = e.into_inner();
+                    fetch.timeline.l1_miss = None;
+                    self.stats.stores -= 1;
+                    self.stats.miss_queue_stalls += 1;
+                    return L1AccessOutcome::Blocked(fetch, L1BlockReason::MissQueueFull);
+                }
                 L1AccessOutcome::StoreAccepted
             }
         }
@@ -249,8 +274,10 @@ impl L1Dcache {
             if head.ready > now {
                 break;
             }
-            let slot = self.ready_hits.pop().expect("peeked").slot;
-            out.push(self.arena.take(slot));
+            let Some(entry) = self.ready_hits.pop() else {
+                break;
+            };
+            out.push(self.arena.take(entry.slot));
         }
         out
     }
@@ -280,13 +307,16 @@ impl L1Dcache {
         let mut primary = Some(fetch);
         waiters
             .into_iter()
-            .map(|w| {
+            .filter_map(|w| {
+                // Each entry holds exactly one primary; a duplicate is
+                // skipped here and surfaces as a conservation failure
+                // (MshrLeak) at the simulator's run-end check.
                 let mut f = match w {
-                    None => primary.take().expect("exactly one primary per entry"),
+                    None => primary.take()?,
                     Some(slot) => self.arena.take(slot),
                 };
                 f.timeline.returned = Some(now);
-                f
+                Some(f)
             })
             .collect()
     }

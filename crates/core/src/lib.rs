@@ -39,7 +39,10 @@ pub mod experiments;
 mod run;
 pub mod text;
 
-pub use run::{run_benchmark, run_benchmarks_parallel, RunSpec, DEFAULT_MAX_CYCLES};
+pub use run::{
+    run_benchmark, run_benchmarks_parallel, run_benchmarks_resilient, BatchOutcome,
+    BenchmarkFailure, RunSpec, DEFAULT_MAX_CYCLES,
+};
 
 /// Re-export of the configuration crate (baseline + Table I design space).
 pub use gpumem_config as config;
@@ -55,7 +58,7 @@ pub mod prelude {
     pub use crate::experiments::latency_tolerance::{
         latency_tolerance_profile, LatencyProfile, FIG1_LATENCIES,
     };
-    pub use crate::run::{run_benchmark, run_benchmarks_parallel};
+    pub use crate::run::{run_benchmark, run_benchmarks_parallel, run_benchmarks_resilient};
     pub use gpumem_config::{DesignPoint, GpuConfig};
     pub use gpumem_sim::{GpuSimulator, MemoryMode, SimReport};
     pub use gpumem_workloads::{benchmarks, by_name, BENCHMARK_NAMES};

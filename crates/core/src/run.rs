@@ -96,6 +96,110 @@ pub fn run_benchmarks_parallel(specs: &[RunSpec]) -> Result<Vec<SimReport>, SimE
         .collect()
 }
 
+/// One benchmark that could not be completed by [`run_benchmarks_resilient`],
+/// after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkFailure {
+    /// Index into the input `specs` slice.
+    pub index: usize,
+    /// The benchmark's name.
+    pub benchmark: String,
+    /// How many attempts were made (always 2: the run and one retry).
+    pub attempts: u32,
+    /// The typed error from the last attempt.
+    pub error: SimError,
+}
+
+/// Outcome of a resilient batch: reports in input order, with `None` at
+/// every index that failed, plus a structured record of each failure.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One slot per input spec, in input order.
+    pub reports: Vec<Option<SimReport>>,
+    /// Benchmarks that failed both attempts, in input order.
+    pub failures: Vec<BenchmarkFailure>,
+}
+
+impl BatchOutcome {
+    /// True when every benchmark in the batch completed.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a batch of independent simulations across all available cores,
+/// degrading gracefully instead of failing the whole batch: each benchmark
+/// gets an optional per-run wall-clock budget (`deadline_seconds`), an
+/// errored or over-budget run is retried once, and a benchmark that fails
+/// both attempts is reported in [`BatchOutcome::failures`] while every
+/// other benchmark's report is still returned.
+///
+/// Deterministic errors (a wedge, a cycle-budget watchdog) will fail the
+/// retry identically; the retry exists for host-dependent failures such as
+/// a deadline missed on a loaded machine.
+pub fn run_benchmarks_resilient(
+    specs: &[RunSpec],
+    max_cycles: u64,
+    deadline_seconds: Option<f64>,
+) -> BatchOutcome {
+    let n = specs.len();
+    if n == 0 {
+        return BatchOutcome {
+            reports: Vec::new(),
+            failures: Vec::new(),
+        };
+    }
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, u32, Result<SimReport, SimError>)>();
+
+    let attempt = |spec: &RunSpec| {
+        let mut sim = GpuSimulator::new(spec.cfg.clone(), Arc::clone(&spec.program), spec.mode);
+        sim.set_deadline_seconds(deadline_seconds);
+        sim.run(max_cycles)
+    };
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = &specs[i];
+                let (attempts, out) = match attempt(spec) {
+                    Ok(report) => (1, Ok(report)),
+                    Err(_first) => (2, attempt(spec)),
+                };
+                tx.send((i, attempts, out))
+                    .expect("receiver outlives the scope");
+            });
+        }
+    });
+    drop(tx);
+
+    let mut reports: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
+    let mut failures = Vec::new();
+    for (i, attempts, out) in rx {
+        match out {
+            Ok(report) => reports[i] = Some(report),
+            Err(error) => failures.push(BenchmarkFailure {
+                index: i,
+                benchmark: specs[i].program.name().to_owned(),
+                attempts,
+                error,
+            }),
+        }
+    }
+    failures.sort_by_key(|f| f.index);
+    BatchOutcome { reports, failures }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +249,68 @@ mod tests {
     #[test]
     fn empty_batch_is_ok() {
         assert!(run_benchmarks_parallel(&[]).unwrap().is_empty());
+    }
+
+    /// A spec too big to finish inside a small cycle budget.
+    fn oversized_spec() -> RunSpec {
+        let mut spec = tiny_spec(MemoryMode::FixedLatency(400));
+        let mut p = WorkloadParams::template("big");
+        p.ctas = 64;
+        p.warps_per_cta = 2;
+        p.iters = 200;
+        p.working_set_lines = 2_000;
+        spec.program = Arc::new(SyntheticKernel::new(p));
+        spec
+    }
+
+    #[test]
+    fn resilient_batch_reports_partial_results() {
+        let specs = vec![
+            tiny_spec(MemoryMode::Hierarchy),
+            oversized_spec(),
+            tiny_spec(MemoryMode::FixedLatency(100)),
+        ];
+        // A budget the tiny specs clear easily and the oversized one
+        // cannot: the batch must still return the two good reports.
+        let out = run_benchmarks_resilient(&specs, 20_000, None);
+        assert!(!out.all_ok());
+        assert!(out.reports[0].is_some(), "tiny run must survive the batch");
+        assert!(out.reports[1].is_none(), "failed slot must stay empty");
+        assert!(out.reports[2].is_some());
+        assert_eq!(out.failures.len(), 1);
+        let failure = &out.failures[0];
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.benchmark, "big");
+        assert_eq!(failure.attempts, 2, "an errored run is retried once");
+        assert!(matches!(failure.error, SimError::Watchdog { .. }));
+    }
+
+    #[test]
+    fn resilient_batch_with_no_failures_matches_fail_fast() {
+        let specs = vec![
+            tiny_spec(MemoryMode::Hierarchy),
+            tiny_spec(MemoryMode::FixedLatency(100)),
+        ];
+        let out = run_benchmarks_resilient(&specs, DEFAULT_MAX_CYCLES, None);
+        assert!(out.all_ok());
+        let reference = run_benchmarks_parallel(&specs).unwrap();
+        for (slot, reference) in out.reports.iter().zip(&reference) {
+            let report = slot.as_ref().unwrap();
+            assert_eq!(report.cycles, reference.cycles);
+            assert_eq!(report.instructions, reference.instructions);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_fails_every_benchmark_after_one_retry() {
+        let specs = vec![tiny_spec(MemoryMode::Hierarchy)];
+        let out = run_benchmarks_resilient(&specs, DEFAULT_MAX_CYCLES, Some(0.0));
+        assert!(out.reports[0].is_none());
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].attempts, 2);
+        assert!(matches!(
+            out.failures[0].error,
+            SimError::DeadlineExceeded { .. }
+        ));
     }
 }

@@ -24,7 +24,7 @@
 //! let mut now = Cycle::ZERO;
 //! let mut done = None;
 //! for _ in 0..500 {
-//!     dram.tick(now);
+//!     dram.tick(now).unwrap();
 //!     dram.observe();
 //!     if let Some(f) = dram.pop_return() {
 //!         done = Some((f, now));
@@ -43,7 +43,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gpumem_config::{DramConfig, GpuConfig};
-use gpumem_types::{AccessKind, Cycle, LatencyStats, MemFetch, QueueStats, SimQueue};
+use gpumem_types::{AccessKind, Cycle, LatencyStats, MemFetch, QueueStats, SimError, SimQueue};
 
 /// Activity counters for one [`DramChannel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -254,25 +254,40 @@ impl DramChannel {
 
     /// Advances the channel one cycle: lands finished requests into the
     /// return queue and schedules at most one new request FR-FCFS.
-    pub fn tick(&mut self, now: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QueueOverflow`] if the return queue rejects a
+    /// completion after its fullness check — an internal invariant
+    /// violation, never ordinary congestion.
+    pub fn tick(&mut self, now: Cycle) -> Result<(), SimError> {
         // Land completions whose data transfer finished.
-        while let Some(head) = self.completions.peek() {
-            if head.done_at > now {
+        loop {
+            let landable = match self.completions.peek() {
+                Some(head) if head.done_at <= now => {
+                    !(head.fetch.kind.is_load() && self.return_queue.is_full())
+                }
+                _ => false,
+            };
+            if !landable {
                 break;
             }
-            let is_read = head.fetch.kind.is_load();
-            if is_read && self.return_queue.is_full() {
-                // Hold the completion; backpressure from the L2 fill path.
+            let Some(c) = self.completions.pop() else {
                 break;
-            }
-            let c = self.completions.pop().expect("peeked");
+            };
             if let Some(arr) = c.fetch.timeline.dram_arrive {
                 self.service_latency.record(now.since(arr));
             }
-            if is_read {
-                self.return_queue.push(c.fetch).expect("fullness checked");
+            if c.fetch.kind.is_load() {
+                if self.return_queue.push(c.fetch).is_err() {
+                    return Err(SimError::QueueOverflow {
+                        component: "dram",
+                        queue: "dram_return",
+                        cycle: now.raw(),
+                    });
+                }
             } else {
-                self.in_flight -= 1;
+                self.in_flight = self.in_flight.saturating_sub(1);
             }
         }
 
@@ -299,6 +314,7 @@ impl DramChannel {
         } else if !self.schedule_one(now, AccessKind::Load) {
             self.schedule_one(now, AccessKind::Store);
         }
+        Ok(())
     }
 
     /// FR-FCFS over the selected queue: prefer the oldest request hitting
@@ -390,9 +406,21 @@ impl DramChannel {
     pub fn pop_return(&mut self) -> Option<MemFetch> {
         let f = self.return_queue.pop();
         if f.is_some() {
-            self.in_flight -= 1;
+            self.in_flight = self.in_flight.saturating_sub(1);
         }
         f
+    }
+
+    /// Iterates over every fetch queued or in service inside the channel
+    /// (scheduler queues, completions in flight, return queue), for wedge
+    /// diagnosis.
+    pub fn fetches(&self) -> impl Iterator<Item = &MemFetch> {
+        self.queue
+            .iter()
+            .chain(self.write_queue.iter())
+            .map(|p| &p.fetch)
+            .chain(self.completions.iter().map(|c| &c.fetch))
+            .chain(self.return_queue.iter())
     }
 
     /// Peeks the next completed read.
@@ -510,7 +538,8 @@ pub fn drain_channel(
     let mut out = Vec::new();
     let mut waited = 0;
     while !channel.is_idle() && waited < max_cycles {
-        channel.tick(now);
+        // simlint::allow(no-panic-in-model, reason = "test-only drain helper; a broken channel invariant should abort the test")
+        channel.tick(now).expect("channel invariant violated");
         channel.observe();
         while let Some(f) = channel.pop_return() {
             out.push(f);
@@ -693,7 +722,7 @@ mod tests {
         // Run without draining returns.
         let mut now = Cycle::ZERO;
         for _ in 0..2000 {
-            d.tick(now);
+            d.tick(now).unwrap();
             d.observe();
             now = now.next();
         }
@@ -703,7 +732,7 @@ mod tests {
         // Drain and finish.
         let mut got = 0;
         for _ in 0..2000 {
-            d.tick(now);
+            d.tick(now).unwrap();
             while d.pop_return().is_some() {
                 got += 1;
             }
@@ -723,10 +752,10 @@ mod tests {
         assert_eq!(ev, Cycle::new(5 + ctrl));
         // Ticking strictly before the event changes nothing.
         let stats_before = *d.stats();
-        d.tick(Cycle::new(5 + ctrl - 1));
+        d.tick(Cycle::new(5 + ctrl - 1)).unwrap();
         assert_eq!(*d.stats(), stats_before);
         // Ticking at the event schedules the request.
-        d.tick(ev);
+        d.tick(ev).unwrap();
         assert_eq!(d.stats().reads, 1);
         let next = d.next_event(ev).expect("completion pending");
         assert!(next > ev, "completion lies in the future");

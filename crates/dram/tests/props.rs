@@ -45,7 +45,7 @@ proptest! {
                     pending.pop_front();
                 }
             }
-            d.tick(now);
+            d.tick(now).unwrap();
             d.observe();
             while let Some(f) = d.pop_return() {
                 returned.push(f.id.raw());
@@ -99,7 +99,7 @@ proptest! {
             }
             let mut got = 0;
             while got < lines.len() {
-                d.tick(now);
+                d.tick(now).unwrap();
                 while d.pop_return().is_some() {
                     got += 1;
                 }

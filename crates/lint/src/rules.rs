@@ -37,6 +37,8 @@ pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
 pub const PORT_PAIRING: &str = "port-pairing";
 /// A `crates/config` baseline constant drifting from the Table I manifest.
 pub const TABLE_I_DRIFT: &str = "table-i-drift";
+/// `unwrap`/`expect`/`panic!` in model-crate simulation code.
+pub const NO_PANIC_IN_MODEL: &str = "no-panic-in-model";
 /// A malformed or reasonless `simlint::allow` directive.
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
 /// A `simlint::allow` directive that suppressed nothing.
@@ -88,6 +90,13 @@ pub const RULES: &[RuleInfo] = &[
         summary: "crates/config baseline values must match the machine-readable \
                   Table I manifest",
         suppressible: false,
+    },
+    RuleInfo {
+        id: NO_PANIC_IN_MODEL,
+        summary: "deny .unwrap()/.expect()/panic! in non-test model-crate code \
+                  (crates/{sim,noc,dram,cache,simt}); fail with typed SimErrors \
+                  instead of crashing mid-run",
+        suppressible: true,
     },
     RuleInfo {
         id: ALLOW_SYNTAX,
@@ -234,6 +243,21 @@ fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
     spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
 }
 
+/// Crates whose non-test code must stay panic-free: a simulation abort must
+/// surface as a typed `SimError`, never a crash, so the watchdog and the
+/// parallel engine's degradation path stay reachable.
+const MODEL_CRATE_PREFIXES: &[&str] = &[
+    "crates/sim/",
+    "crates/noc/",
+    "crates/dram/",
+    "crates/cache/",
+    "crates/simt/",
+];
+
+fn in_model_crate(file: &str) -> bool {
+    MODEL_CRATE_PREFIXES.iter().any(|p| file.starts_with(p))
+}
+
 /// Runs every token-level rule over one file's comment-free stream.
 ///
 /// `is_test` exempts the whole file from the determinism rules (set for
@@ -243,11 +267,37 @@ pub fn run(file: &str, code: &[Token], is_test: bool) -> Vec<Diagnostic> {
     let spans = cfg_test_spans(code);
     let mut diags = Vec::new();
     let exempt = |line: u32| is_test || in_spans(&spans, line);
+    let model = in_model_crate(file);
 
     for (i, t) in code.iter().enumerate() {
         let line = t.line;
         if let Tok::Ident(name) = &t.tok {
             match name.as_str() {
+                "unwrap" | "expect"
+                    if model
+                        && !exempt(line)
+                        && is_punct(code, i.wrapping_sub(1), '.')
+                        && is_punct(code, i + 1, '(') =>
+                {
+                    diags.push(Diagnostic::error(
+                        file,
+                        line,
+                        NO_PANIC_IN_MODEL,
+                        format!("`.{name}()` can panic inside the simulation model"),
+                        "return a typed SimError (or make the state impossible by \
+                         construction); model code must fail loudly but structuredly",
+                    ));
+                }
+                "panic" if model && !exempt(line) && is_punct(code, i + 1, '!') => {
+                    diags.push(Diagnostic::error(
+                        file,
+                        line,
+                        NO_PANIC_IN_MODEL,
+                        "`panic!` aborts the run without a typed error",
+                        "return a SimError variant so callers can diagnose the wedge; \
+                         assert!/debug_assert! remain available for true invariants",
+                    ));
+                }
                 "HashMap" | "HashSet" | "RandomState" if !exempt(line) => {
                     diags.push(Diagnostic::error(
                         file,

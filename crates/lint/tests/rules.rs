@@ -116,6 +116,61 @@ fn question_mark_while_ports_taken_is_flagged() {
 }
 
 #[test]
+fn panic_in_model_crates_is_flagged() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               let a = x.unwrap();\n\
+               let b = x.expect(\"msg\");\n\
+               if a + b > 3 { panic!(\"boom\"); }\n\
+               a\n\
+               }\n";
+    let d = lint_source("crates/sim/src/gpu.rs", src, false);
+    assert_eq!(
+        rule_lines(&d, "no-panic-in-model"),
+        [2, 3, 4],
+        "findings: {d:?}"
+    );
+    assert_eq!(d.len(), 3, "nothing else fires: {d:?}");
+}
+
+#[test]
+fn panic_rule_scope_is_model_crates_only() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_source("crates/core/src/run.rs", src, false).is_empty());
+    assert!(lint_source("crates/lint/src/main.rs", src, false).is_empty());
+    // Test files inside model crates are exempt like everywhere else.
+    assert!(lint_source("crates/sim/tests/chaos.rs", src, true).is_empty());
+}
+
+#[test]
+fn asserts_and_lookalike_idents_stay_legal_in_model_code() {
+    let src = "fn f(v: &[u32]) -> u32 {\n\
+               assert!(!v.is_empty());\n\
+               debug_assert_eq!(v.len() % 2, 0);\n\
+               let s = v.iter().map(|x| x.wrapping_add(1)).sum::<u32>();\n\
+               s.checked_add(unwrap_or_zero(v)).unwrap_or(0)\n\
+               }\n";
+    let d = lint_source("crates/noc/src/crossbar.rs", src, false);
+    assert!(d.is_empty(), "findings: {d:?}");
+}
+
+#[test]
+fn cfg_test_blocks_in_model_crates_are_exempt_from_panic_rule() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+    let d = lint_source("crates/dram/src/lib.rs", src, false);
+    assert!(d.is_empty(), "findings: {d:?}");
+}
+
+#[test]
+fn allow_directive_suppresses_panic_rule_with_reason() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // simlint::allow(no-panic-in-model, reason = \"constructor contract\")\n\
+               x.expect(\"validated\")\n\
+               }\n";
+    let d = lint_source("crates/sim/src/gpu.rs", src, false);
+    assert!(d.is_empty(), "findings: {d:?}");
+}
+
+#[test]
 fn definition_sites_do_not_count_as_calls() {
     let src = "impl Crossbar {\n\
                pub fn take_ports(&mut self) -> (Vec<I>, Vec<E>) { (vec![], vec![]) }\n\

@@ -22,7 +22,7 @@ use std::borrow::BorrowMut;
 use std::collections::VecDeque;
 
 use gpumem_config::NocConfig;
-use gpumem_types::{Cycle, QueueStats, SimQueue};
+use gpumem_types::{Cycle, MemFetch, QueueStats, SimError, SimQueue};
 
 use crate::Packet;
 
@@ -67,6 +67,10 @@ pub struct IngressPort {
     /// Packets accepted on this port (merged into
     /// [`CrossbarStats::packets_injected`]).
     injected: u64,
+    /// Fault injection: the fabric will not arbitrate packets out of this
+    /// port before this cycle. `Cycle::ZERO` (the default) means never
+    /// held, so the field is inert unless a `ChaosConfig` drives it.
+    held_until: Cycle,
 }
 
 impl IngressPort {
@@ -75,6 +79,32 @@ impl IngressPort {
             queue: SimQueue::new("noc_input", cfg.input_buffer_pkts),
             dest_limit,
             injected: 0,
+            held_until: Cycle::ZERO,
+        }
+    }
+
+    /// True while a chaos hold prevents the fabric from draining this port.
+    pub fn held(&self, now: Cycle) -> bool {
+        now < self.held_until
+    }
+
+    /// Fault injection: forbid arbitration out of this port until `until`.
+    /// Holds only ever extend — a later, shorter hold must not release a
+    /// longer one (notably the permanent `Cycle::NEVER` wedge fixture).
+    pub fn chaos_hold(&mut self, until: Cycle) {
+        self.held_until = self.held_until.max(until);
+    }
+
+    /// Fault injection: "drop" the head packet and immediately reinject it
+    /// at the tail of the same buffer. Conservation-safe (the packet never
+    /// leaves the port) but perturbs ordering like a retried transfer.
+    pub fn chaos_rotate_head(&mut self) {
+        if self.queue.len() < 2 {
+            return;
+        }
+        if let Some(pkt) = self.queue.pop() {
+            // Cannot fail: we just popped, so a slot is free.
+            let _ = self.queue.push(pkt);
         }
     }
 
@@ -236,7 +266,18 @@ impl CrossbarFabric {
     /// (`&mut [IngressPort]`, the serial facade) or slices of mutable
     /// borrows (`&mut [&mut IngressPort]`, the parallel engine
     /// reassembling ports held in per-shard packs).
-    pub fn tick<I, E>(&mut self, now: Cycle, inputs: &mut [I], outputs: &mut [E])
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SimError`] if an internal invariant is violated
+    /// (ejection queue overflow after a fullness check, ejection-credit
+    /// underflow) — the machine state is broken, not merely congested.
+    pub fn tick<I, E>(
+        &mut self,
+        now: Cycle,
+        inputs: &mut [I],
+        outputs: &mut [E],
+    ) -> Result<(), SimError>
     where
         I: BorrowMut<IngressPort>,
         E: BorrowMut<EgressPort>,
@@ -245,37 +286,48 @@ impl CrossbarFabric {
             // 1. Land in-flight packets whose hop latency elapsed.
             loop {
                 let out = out_slot.borrow_mut();
-                match out.in_flight.front() {
-                    Some((arrive, _)) if *arrive <= now && !out.ejection.is_full() => {
-                        let (_, pkt) = out.in_flight.pop_front().expect("peeked");
-                        out.ejection.push(pkt).expect("fullness checked");
-                    }
-                    _ => break,
+                let landable = matches!(
+                    out.in_flight.front(),
+                    Some((arrive, _)) if *arrive <= now && !out.ejection.is_full()
+                );
+                if !landable {
+                    break;
+                }
+                let Some((_, pkt)) = out.in_flight.pop_front() else {
+                    break;
+                };
+                if out.ejection.push(pkt).is_err() {
+                    return Err(SimError::QueueOverflow {
+                        component: "crossbar",
+                        queue: "noc_ejection",
+                        cycle: now.raw(),
+                    });
                 }
             }
 
             // 2. Stream up to `flits_per_cycle` flits of the current
             //    packet (the interconnect runs above the core clock).
             let out = out_slot.borrow_mut();
-            if let Some((_, remaining)) = &mut out.streaming {
-                let moved = (*remaining).min(self.flits_per_cycle);
-                *remaining -= moved;
+            if let Some((pkt, remaining)) = out.streaming.take() {
+                let moved = remaining.min(self.flits_per_cycle);
+                let remaining = remaining - moved;
                 self.flits_transferred += moved;
                 self.output_busy_cycles += 1;
-                if *remaining == 0 {
-                    let (pkt, _) = out.streaming.take().expect("checked above");
+                if remaining == 0 {
                     out.in_flight.push_back((now + self.hop_latency, pkt));
+                } else {
+                    out.streaming = Some((pkt, remaining));
                 }
                 continue;
             }
 
             // 3. Arbitrate for a new packet (needs an ejection credit).
+            // Chaos-held inputs are invisible to arbitration until their
+            // hold expires.
             if out_slot.borrow_mut().credits == 0 {
                 let wanted = inputs.iter_mut().any(|q| {
-                    q.borrow_mut()
-                        .queue
-                        .front()
-                        .is_some_and(|p| p.dest == out_idx)
+                    let q = q.borrow_mut();
+                    !q.held(now) && q.queue.front().is_some_and(|p| p.dest == out_idx)
                 });
                 if wanted {
                     self.credit_stall_cycles += 1;
@@ -286,22 +338,27 @@ impl CrossbarFabric {
             let start = out_slot.borrow_mut().rr;
             for step in 0..n_inputs {
                 let in_idx = (start + step) % n_inputs;
-                let matches = inputs[in_idx]
-                    .borrow_mut()
-                    .queue
-                    .front()
-                    .is_some_and(|p| p.dest == out_idx);
+                let input = inputs[in_idx].borrow_mut();
+                let matches =
+                    !input.held(now) && input.queue.front().is_some_and(|p| p.dest == out_idx);
                 if !matches {
                     continue;
                 }
-                let pkt = inputs[in_idx]
-                    .borrow_mut()
-                    .queue
-                    .pop()
-                    .expect("front checked");
+                let Some(pkt) = inputs[in_idx].borrow_mut().queue.pop() else {
+                    continue;
+                };
                 let out = out_slot.borrow_mut();
                 out.rr = (in_idx + 1) % n_inputs;
-                out.credits -= 1;
+                out.credits = match out.credits.checked_sub(1) {
+                    Some(c) => c,
+                    None => {
+                        return Err(SimError::CreditUnderflow {
+                            component: "crossbar",
+                            port: out_idx,
+                            cycle: now.raw(),
+                        });
+                    }
+                };
                 // Transfer the first flit(s) this same cycle.
                 let moved = pkt.flits.min(self.flits_per_cycle);
                 self.flits_transferred += moved;
@@ -315,6 +372,7 @@ impl CrossbarFabric {
                 break;
             }
         }
+        Ok(())
     }
 }
 
@@ -414,8 +472,55 @@ impl Crossbar {
     }
 
     /// Advances the crossbar by one cycle.
-    pub fn tick(&mut self, now: Cycle) {
-        self.fabric.tick(now, &mut self.ingress, &mut self.egress);
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric invariant violations (see
+    /// [`CrossbarFabric::tick`]).
+    pub fn tick(&mut self, now: Cycle) -> Result<(), SimError> {
+        self.fabric.tick(now, &mut self.ingress, &mut self.egress)
+    }
+
+    /// Exclusive access to all input ports in port order (for the serial
+    /// engine's chaos hooks).
+    pub fn ingress_ports_mut(&mut self) -> &mut [IngressPort] {
+        &mut self.ingress
+    }
+
+    /// Iterates over every fetch currently inside the crossbar (input
+    /// buffers, streaming, hop pipeline, ejection queues), for wedge
+    /// diagnosis.
+    pub fn fetches(&self) -> impl Iterator<Item = &MemFetch> {
+        let ingress = self.ingress.iter().flat_map(|p| p.queue.iter());
+        let egress = self.egress.iter().flat_map(|o| {
+            o.streaming
+                .iter()
+                .map(|(pkt, _)| pkt)
+                .chain(o.in_flight.iter().map(|(_, pkt)| pkt))
+                .chain(o.ejection.iter())
+        });
+        ingress.chain(egress).map(|pkt| &pkt.fetch)
+    }
+
+    /// Indices of input ports whose buffer is full (for wedge diagnosis).
+    pub fn full_ingress_ports(&self) -> Vec<usize> {
+        (0..self.ingress.len())
+            .filter(|&i| self.ingress[i].queue.is_full())
+            .collect()
+    }
+
+    /// Indices of input ports currently under a chaos hold.
+    pub fn held_ingress_ports(&self, now: Cycle) -> Vec<usize> {
+        (0..self.ingress.len())
+            .filter(|&i| self.ingress[i].held(now))
+            .collect()
+    }
+
+    /// Indices of output ports whose ejection queue is full.
+    pub fn full_ejection_ports(&self) -> Vec<usize> {
+        (0..self.egress.len())
+            .filter(|&i| self.egress[i].ejection.is_full())
+            .collect()
     }
 
     /// Removes every port from the crossbar so they can be distributed
@@ -579,7 +684,7 @@ mod tests {
     fn run(xbar: &mut Crossbar, from: Cycle, cycles: u64) -> Cycle {
         let mut now = from;
         for _ in 0..cycles {
-            xbar.tick(now);
+            xbar.tick(now).unwrap();
             xbar.observe();
             now = now.next();
         }
@@ -593,7 +698,7 @@ mod tests {
         let mut now = Cycle::ZERO;
         let mut delivered_at = None;
         for _ in 0..20 {
-            x.tick(now);
+            x.tick(now).unwrap();
             if x.peek_ejected(1).is_some() && delivered_at.is_none() {
                 delivered_at = Some(now);
             }
@@ -643,7 +748,7 @@ mod tests {
         let mut order = Vec::new();
         let mut now = Cycle::ZERO;
         for _ in 0..12 {
-            x.tick(now);
+            x.tick(now).unwrap();
             now = now.next();
             while let Some(p) = x.pop_ejected(0) {
                 order.push(p.fetch.id.raw());
@@ -693,7 +798,7 @@ mod tests {
         // from input 1; a packet behind it targeting free output 1 waits.
         let mut x = Crossbar::new(2, 2, &cfg());
         x.try_inject(1, pkt(9, 0, 20)).unwrap();
-        x.tick(Cycle::ZERO); // output 0 claims the long packet
+        x.tick(Cycle::ZERO).unwrap(); // output 0 claims the long packet
         x.try_inject(0, pkt(1, 0, 1)).unwrap();
         x.try_inject(0, pkt(2, 1, 1)).unwrap();
         run(&mut x, Cycle::new(1), 10);
@@ -718,7 +823,7 @@ mod tests {
                     }
                 }
             }
-            x.tick(now);
+            x.tick(now).unwrap();
             now = now.next();
             for output in 0..2 {
                 while x.pop_ejected(output).is_some() {
@@ -728,7 +833,7 @@ mod tests {
         }
         // Drain.
         for _ in 0..500 {
-            x.tick(now);
+            x.tick(now).unwrap();
             now = now.next();
             for output in 0..2 {
                 while x.pop_ejected(output).is_some() {
@@ -751,6 +856,51 @@ mod tests {
     }
 
     #[test]
+    fn chaos_hold_freezes_arbitration_until_expiry() {
+        let mut x = Crossbar::new(1, 1, &cfg());
+        x.try_inject(0, pkt(1, 0, 1)).unwrap();
+        x.ingress_ports_mut()[0].chaos_hold(Cycle::new(5));
+        assert_eq!(x.held_ingress_ports(Cycle::ZERO), vec![0]);
+        run(&mut x, Cycle::ZERO, 5);
+        // Held: nothing moved in cycles 0..5.
+        assert_eq!(x.stats().flits_transferred, 0);
+        assert!(x.peek_ejected(0).is_none());
+        run(&mut x, Cycle::new(5), 10);
+        assert!(x.pop_ejected(0).is_some());
+        assert!(x.is_idle());
+    }
+
+    #[test]
+    fn chaos_rotate_head_preserves_conservation() {
+        let mut x = Crossbar::new(1, 2, &cfg());
+        x.try_inject(0, pkt(1, 0, 1)).unwrap();
+        x.try_inject(0, pkt(2, 1, 1)).unwrap();
+        x.ingress_ports_mut()[0].chaos_rotate_head();
+        run(&mut x, Cycle::ZERO, 10);
+        // Both packets still arrive, head rotation only reordered them.
+        assert_eq!(x.pop_ejected(0).unwrap().fetch.id, FetchId::new(1));
+        assert_eq!(x.pop_ejected(1).unwrap().fetch.id, FetchId::new(2));
+        assert!(x.is_idle());
+        assert_eq!(x.stats().packets_injected, 2);
+        assert_eq!(x.stats().packets_ejected, 2);
+    }
+
+    #[test]
+    fn fetches_surveys_every_stage() {
+        let mut x = Crossbar::new(2, 2, &cfg());
+        x.try_inject(0, pkt(1, 1, 8)).unwrap(); // will be streaming
+        x.try_inject(1, pkt(2, 0, 1)).unwrap(); // will be in flight / ejected
+        x.try_inject(1, pkt(3, 0, 1)).unwrap(); // still queued behind it
+        x.tick(Cycle::ZERO).unwrap();
+        x.tick(Cycle::new(1)).unwrap();
+        let ids: Vec<u64> = x.fetches().map(|f| f.id.raw()).collect();
+        assert_eq!(ids.len(), 3, "every in-network fetch surveyed: {ids:?}");
+        for id in [1, 2, 3] {
+            assert!(ids.contains(&id));
+        }
+    }
+
+    #[test]
     fn take_and_restore_ports_roundtrip() {
         let mut x = Crossbar::new(2, 2, &cfg());
         x.try_inject(0, pkt(1, 1, 3)).unwrap();
@@ -762,7 +912,7 @@ mod tests {
         for _ in 0..20 {
             let mut iref: Vec<&mut IngressPort> = ins.iter_mut().collect();
             let mut oref: Vec<&mut EgressPort> = outs.iter_mut().collect();
-            x.fabric_mut().tick(now, &mut iref, &mut oref);
+            x.fabric_mut().tick(now, &mut iref, &mut oref).unwrap();
             now = now.next();
         }
         assert!(outs[1].peek_ejected().is_some());

@@ -51,7 +51,7 @@ proptest! {
             if x.try_inject(inp, packet(id, dest, flits)).is_ok() {
                 injected.push(id);
             }
-            x.tick(now);
+            x.tick(now).unwrap();
             x.observe();
             now = now.next();
             for o in 0..outputs {
@@ -66,7 +66,7 @@ proptest! {
             if x.is_idle() {
                 break;
             }
-            x.tick(now);
+            x.tick(now).unwrap();
             now = now.next();
             for o in 0..outputs {
                 while let Some(p) = x.pop_ejected(o) {
@@ -107,7 +107,7 @@ proptest! {
                     queue.push_front(packet(id, 0, flits[id as usize]));
                 }
             }
-            x.tick(now);
+            x.tick(now).unwrap();
             now = now.next();
             while let Some(p) = x.pop_ejected(0) {
                 received.push(p.fetch.id.raw());
@@ -131,7 +131,7 @@ proptest! {
         let mut now = Cycle::ZERO;
         let mut delivered_at = None;
         for _ in 0..1000 {
-            x.tick(now);
+            x.tick(now).unwrap();
             if x.peek_ejected(0).is_some() {
                 delivered_at = Some(now);
                 break;

@@ -95,8 +95,9 @@ impl FixedLatencyMemory {
     /// Takes the next response due at or before `now`, if any.
     pub fn pop_due(&mut self, now: Cycle) -> Option<MemFetch> {
         if self.pending.peek().is_some_and(|d| d.at <= now) {
+            let due = self.pending.pop()?;
             self.loads_served += 1;
-            Some(self.pending.pop().expect("peeked").fetch)
+            Some(due.fetch)
         } else {
             None
         }
@@ -110,6 +111,11 @@ impl FixedLatencyMemory {
     /// Loads submitted but not yet returned.
     pub fn pending_responses(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Every load currently awaiting its response (for wedge diagnosis).
+    pub fn fetches(&self) -> impl Iterator<Item = &MemFetch> {
+        self.pending.iter().map(|d| &d.fetch)
     }
 
     /// The earliest future cycle at which this backend can act: the due

@@ -1,16 +1,20 @@
 //! The full-system simulator: cores + interconnect + partitions, or cores +
 //! fixed-latency memory.
 
-use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
 use gpumem_config::GpuConfig;
 use gpumem_noc::{Crossbar, Packet};
 use gpumem_simt::{KernelProgram, SimtCore};
-use gpumem_types::{host_wall_clock, CtaId, Cycle, PartitionId};
+use gpumem_types::{
+    host_wall_clock, ComponentOccupancy, CtaId, Cycle, Degradation, OldestFetch, PartitionId,
+    SimError, WedgeDiagnosis,
+};
 
+use crate::chaos::{ChaosConfig, ChaosEngine};
 use crate::report::{build_report, HostPerf};
+use crate::watchdog::Watchdog;
 use crate::{FixedLatencyMemory, MemoryPartition, SimReport};
 
 /// Which memory system sits below the L1s.
@@ -31,38 +35,6 @@ impl fmt::Display for MemoryMode {
         }
     }
 }
-
-/// A failed simulation run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// The watchdog expired before the kernel finished — either the budget
-    /// was too small or the configuration deadlocked.
-    Watchdog {
-        /// Cycle at which the run was aborted.
-        cycle: u64,
-        /// Instructions retired so far (progress indicator).
-        instructions: u64,
-        /// Human-readable liveness diagnosis.
-        detail: String,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Watchdog {
-                cycle,
-                instructions,
-                detail,
-            } => write!(
-                f,
-                "watchdog expired at cycle {cycle} ({instructions} instructions retired): {detail}"
-            ),
-        }
-    }
-}
-
-impl Error for SimError {}
 
 pub(crate) enum Backend {
     Hierarchy {
@@ -121,6 +93,15 @@ pub struct GpuSimulator {
     pub(crate) stepped_cycles: u64,
     skipped_cycles: u64,
     skip_policy: SkipPolicy,
+    /// No-progress horizon in cycles; `None` disables the watchdog.
+    pub(crate) watchdog_horizon: Option<u64>,
+    /// Active fault-injection engine, if chaos is configured.
+    pub(crate) chaos: Option<ChaosEngine>,
+    /// Host wall-clock budget for a run; `None` disables the deadline.
+    pub(crate) deadline_seconds: Option<f64>,
+    /// Set when the parallel engine caught a worker fault and finished the
+    /// run on the sequential engine.
+    pub(crate) degraded: Option<Degradation>,
 }
 
 impl fmt::Debug for GpuSimulator {
@@ -142,6 +123,7 @@ impl GpuSimulator {
     /// Panics if `cfg` fails [`GpuConfig::validate`], or if the program's
     /// CTAs need more warps than a core has slots.
     pub fn new(cfg: GpuConfig, program: Arc<dyn KernelProgram>, mode: MemoryMode) -> Self {
+        // simlint::allow(no-panic-in-model, reason = "constructor contract: new() documents the panic on an invalid config and runs before any simulation state exists")
         cfg.validate().expect("invalid GpuConfig");
         assert!(
             program.warps_per_cta() as usize <= cfg.core.max_warps,
@@ -181,6 +163,10 @@ impl GpuSimulator {
             stepped_cycles: 0,
             skipped_cycles: 0,
             skip_policy: SkipPolicy::default(),
+            watchdog_horizon: None,
+            chaos: None,
+            deadline_seconds: None,
+            degraded: None,
         }
     }
 
@@ -193,6 +179,36 @@ impl GpuSimulator {
     /// scans. Affects wall-clock time only, never simulation results.
     pub fn set_skip_policy(&mut self, policy: SkipPolicy) {
         self.skip_policy = policy;
+    }
+
+    /// Arms (or disarms with `None`) the no-progress watchdog: a run
+    /// aborts with [`SimError::Wedged`] and a structured
+    /// [`WedgeDiagnosis`] once no progress counter changes for `horizon`
+    /// consecutive cycles. A horizon of 0 is clamped to 1.
+    ///
+    /// Deterministic: serial, event-horizon and parallel engines observe
+    /// the same fingerprint sequence and trip at the same cycle. While a
+    /// watchdog is armed, event-horizon skipping is disabled (a wedged
+    /// machine has no future event, and the watchdog must count real
+    /// cycles).
+    pub fn set_watchdog(&mut self, horizon: Option<u64>) {
+        self.watchdog_horizon = horizon;
+    }
+
+    /// Installs a seeded fault-injection schedule (see [`ChaosConfig`]).
+    /// A fully disabled config removes any active schedule. While chaos is
+    /// active, event-horizon skipping is disabled so injection cycles are
+    /// never jumped over.
+    pub fn set_chaos(&mut self, config: ChaosConfig) {
+        self.chaos = config.any_fault_enabled().then(|| ChaosEngine::new(config));
+    }
+
+    /// Bounds the host wall-clock time of a run; checked every 1024
+    /// stepped cycles, exceeding it aborts with
+    /// [`SimError::DeadlineExceeded`]. `None` disables the deadline.
+    /// Affects only *whether* a run finishes, never its simulated results.
+    pub fn set_deadline_seconds(&mut self, seconds: Option<f64>) {
+        self.deadline_seconds = seconds;
     }
 
     /// Current simulated cycle.
@@ -230,6 +246,12 @@ impl GpuSimulator {
 
     fn run_inner(&mut self, max_cycles: u64, skip: bool) -> Result<SimReport, SimError> {
         let wall_start = host_wall_clock();
+        // The watchdog and chaos both demand real per-cycle stepping:
+        // chaos injects at specific cycles, and a wedged machine reports
+        // `next_event() == None`, which skipping would misread as "jump to
+        // the budget".
+        let mut watchdog = self.watchdog_horizon.map(Watchdog::new);
+        let skip = skip && watchdog.is_none() && self.chaos.is_none();
         // Horizon scans run under the lazy policy (see [`SkipPolicy`]):
         // wait `lazy_start` cycles before the first attempt, back off
         // exponentially while attempts fail, resume scanning every cycle
@@ -246,7 +268,25 @@ impl GpuSimulator {
                     detail: self.liveness_detail(),
                 });
             }
-            self.step();
+            if self.deadline_seconds.is_some() && self.stepped_cycles.is_multiple_of(1024) {
+                if let Some(budget) = self.deadline_seconds {
+                    if wall_start.elapsed_seconds() > budget {
+                        return Err(SimError::DeadlineExceeded {
+                            cycle: self.now.raw(),
+                            budget_seconds: budget,
+                        });
+                    }
+                }
+            }
+            if let Some(wd) = &mut watchdog {
+                if wd.observe(self.now, self.progress_fingerprint()) {
+                    let diagnosis = self.wedge_diagnosis(wd);
+                    return Err(SimError::Wedged {
+                        diagnosis: Box::new(diagnosis),
+                    });
+                }
+            }
+            self.step()?;
             if skip && !self.is_done() {
                 if backoff > 0 {
                     backoff -= 1;
@@ -271,11 +311,7 @@ impl GpuSimulator {
                 }
             }
         }
-        debug_assert_eq!(
-            self.responses_delivered,
-            self.expected_responses(),
-            "every load request must receive exactly one response"
-        );
+        self.check_conservation()?;
         let wall = wall_start.elapsed_seconds();
         let mut report = self.report();
         report.host = Some(HostPerf {
@@ -434,7 +470,14 @@ impl GpuSimulator {
     }
 
     /// Advances the whole system by one cycle.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SimError`] if a component detects a broken
+    /// internal invariant (queue overflow after a fullness check, crossbar
+    /// credit underflow, MSHR leak, port-protocol violation) — never on
+    /// ordinary congestion.
+    pub fn step(&mut self) -> Result<(), SimError> {
         self.dispatch_ctas();
         let now = self.now;
 
@@ -444,15 +487,26 @@ impl GpuSimulator {
                 resp_xbar,
                 partitions,
             } => {
+                // Fault injection happens at the very start of the cycle,
+                // before any component acts — the same point the parallel
+                // coordinator applies it, so schedules are engine-identical.
+                if let Some(chaos) = &mut self.chaos {
+                    let mut req_ins: Vec<&mut gpumem_noc::IngressPort> =
+                        req_xbar.ingress_ports_mut().iter_mut().collect();
+                    let mut resp_ins: Vec<&mut gpumem_noc::IngressPort> =
+                        resp_xbar.ingress_ports_mut().iter_mut().collect();
+                    let mut parts: Vec<&mut MemoryPartition> = partitions.iter_mut().collect();
+                    chaos.apply(now, &mut req_ins, &mut resp_ins, &mut parts);
+                }
                 for (p_idx, p) in partitions.iter_mut().enumerate() {
                     p.cycle(
                         now,
                         req_xbar.egress_mut(p_idx),
                         resp_xbar.ingress_mut(p_idx),
-                    );
+                    )?;
                 }
-                req_xbar.tick(now);
-                resp_xbar.tick(now);
+                req_xbar.tick(now)?;
+                resp_xbar.tick(now)?;
 
                 for (c, core) in self.cores.iter_mut().enumerate() {
                     // One L1 fill per cycle from the response network.
@@ -464,13 +518,23 @@ impl GpuSimulator {
                     // Inject as many fill requests as the input buffer
                     // accepts.
                     while core.peek_memory_request().is_some() && req_xbar.can_inject(c) {
-                        let mut fetch = core.pop_memory_request().expect("peeked");
+                        let Some(mut fetch) = core.pop_memory_request() else {
+                            break;
+                        };
                         let part = (fetch.line.index() % self.cfg.num_partitions as u64) as usize;
                         fetch.partition = Some(PartitionId::new(part as u32));
                         fetch.timeline.icnt_inject = Some(now);
                         let bytes = fetch.request_bytes(self.cfg.line_bytes);
                         let pkt = Packet::new(fetch, part, bytes, self.cfg.noc.flit_bytes);
-                        req_xbar.try_inject(c, pkt).expect("can_inject checked");
+                        if req_xbar.try_inject(c, pkt).is_err() {
+                            return Err(SimError::PortProtocol {
+                                component: "core",
+                                cycle: now.raw(),
+                                detail: format!(
+                                    "request crossbar rejected core {c}'s injection after can_inject"
+                                ),
+                            });
+                        }
                         self.requests_injected += 1;
                     }
                     core.observe();
@@ -502,6 +566,7 @@ impl GpuSimulator {
 
         self.stepped_cycles += 1;
         self.now = self.now.next();
+        Ok(())
     }
 
     pub(crate) fn dispatch_ctas(&mut self) {
@@ -558,6 +623,166 @@ impl GpuSimulator {
             .sum()
     }
 
+    /// The monotone progress counters the watchdog fingerprints.
+    pub(crate) fn progress_fingerprint(&self) -> crate::watchdog::ProgressFingerprint {
+        (
+            self.total_instructions(),
+            self.responses_delivered,
+            self.requests_injected,
+            self.next_cta,
+        )
+    }
+
+    /// End-of-run conservation check: every unmerged L1 load miss must have
+    /// produced exactly one delivered response. A mismatch means a fetch
+    /// was dropped or duplicated somewhere in the hierarchy — an invariant
+    /// violation, reported as a leak rather than silently folded into the
+    /// statistics.
+    pub(crate) fn check_conservation(&self) -> Result<(), SimError> {
+        let expected = self.expected_responses();
+        if self.responses_delivered != expected {
+            return Err(SimError::MshrLeak {
+                component: "gpu",
+                cycle: self.now.raw(),
+                detail: format!(
+                    "run completed with {} responses delivered but {} unmerged load misses",
+                    self.responses_delivered, expected
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the structured wedge diagnosis the watchdog attaches to
+    /// [`SimError::Wedged`]: who holds work, which ports/stages exert
+    /// backpressure (in pipeline order, so the chain reads core →
+    /// request network → partitions → response network), and the oldest
+    /// in-flight fetch.
+    pub(crate) fn wedge_diagnosis(&self, wd: &Watchdog) -> WedgeDiagnosis {
+        let now = self.now;
+        let pending_cores = self
+            .cores
+            .iter()
+            .filter(|c| !c.all_ctas_retired() || c.has_pending_memory())
+            .count() as u64;
+        let mut components = vec![ComponentOccupancy {
+            name: "cores".to_owned(),
+            pending: pending_cores,
+        }];
+        let mut blocked_chain = Vec::new();
+        // (issued, id, core) of the oldest stamped fetch seen so far;
+        // writebacks carry no issue stamp and are skipped.
+        let mut oldest: Option<(u64, u64, u32)> = None;
+        let mut consider = |f: &gpumem_types::MemFetch| {
+            if let Some(issued) = f.timeline.issued {
+                let key = (issued.raw(), f.id.raw(), f.core.index() as u32);
+                if oldest.is_none_or(|o| (o.0, o.1) > (key.0, key.1)) {
+                    oldest = Some(key);
+                }
+            }
+        };
+        for core in &self.cores {
+            if let Some(f) = core.peek_memory_request() {
+                consider(f);
+            }
+        }
+        match &self.backend {
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                components.push(ComponentOccupancy {
+                    name: "req_xbar".to_owned(),
+                    pending: req_xbar.packets_in_network() as u64,
+                });
+                // Aggregate each partition stage label across partitions so
+                // the occupancy table stays readable at any partition count.
+                let mut stages: Vec<(&'static str, u64)> = Vec::new();
+                for p in partitions {
+                    for (label, n) in p.pending_breakdown() {
+                        match stages.iter_mut().find(|(l, _)| *l == label) {
+                            Some((_, total)) => *total += n,
+                            None => stages.push((label, n)),
+                        }
+                    }
+                }
+                components.extend(stages.into_iter().map(|(label, n)| ComponentOccupancy {
+                    name: label.to_owned(),
+                    pending: n,
+                }));
+                components.push(ComponentOccupancy {
+                    name: "resp_xbar".to_owned(),
+                    pending: resp_xbar.packets_in_network() as u64,
+                });
+
+                for i in req_xbar.full_ingress_ports() {
+                    blocked_chain.push(format!("req_xbar.ingress[{i}](full)"));
+                }
+                for i in req_xbar.held_ingress_ports(now) {
+                    blocked_chain.push(format!("req_xbar.ingress[{i}](held)"));
+                }
+                for i in req_xbar.full_ejection_ports() {
+                    blocked_chain.push(format!("req_xbar.ejection[{i}](full)"));
+                }
+                for (i, p) in partitions.iter().enumerate() {
+                    for stage in p.blocked_stages(now) {
+                        blocked_chain.push(format!("partition[{i}].{stage}"));
+                    }
+                }
+                for i in resp_xbar.full_ingress_ports() {
+                    blocked_chain.push(format!("resp_xbar.ingress[{i}](full)"));
+                }
+                for i in resp_xbar.held_ingress_ports(now) {
+                    blocked_chain.push(format!("resp_xbar.ingress[{i}](held)"));
+                }
+                for i in resp_xbar.full_ejection_ports() {
+                    blocked_chain.push(format!("resp_xbar.ejection[{i}](full)"));
+                }
+
+                for f in req_xbar.fetches() {
+                    consider(f);
+                }
+                for p in partitions {
+                    for f in p.fetches() {
+                        consider(f);
+                    }
+                }
+                for f in resp_xbar.fetches() {
+                    consider(f);
+                }
+            }
+            Backend::Fixed(mem) => {
+                components.push(ComponentOccupancy {
+                    name: "fixed_memory".to_owned(),
+                    pending: mem.pending_responses() as u64,
+                });
+                for f in mem.fetches() {
+                    consider(f);
+                }
+            }
+        }
+        let oldest_fetch = oldest.map(|(issued_at, id, core)| OldestFetch {
+            id,
+            core,
+            issued_at,
+            waiting: now.raw().saturating_sub(issued_at),
+        });
+        WedgeDiagnosis {
+            cycle: now.raw(),
+            last_progress_cycle: wd.last_progress_cycle().raw(),
+            horizon: wd.horizon(),
+            instructions: self.total_instructions(),
+            responses_delivered: self.responses_delivered,
+            requests_injected: self.requests_injected,
+            ctas_dispatched: self.next_cta,
+            grid_ctas: self.program.grid_ctas(),
+            components,
+            oldest_fetch,
+            blocked_chain,
+        }
+    }
+
     pub(crate) fn liveness_detail(&self) -> String {
         let pending_cores = self
             .cores
@@ -565,12 +790,21 @@ impl GpuSimulator {
             .filter(|c| !c.all_ctas_retired() || c.has_pending_memory())
             .count();
         let backend = match &self.backend {
-            Backend::Hierarchy { partitions, .. } => format!(
-                "{} partitions busy",
-                partitions.iter().filter(|p| !p.is_idle()).count()
-            ),
+            Backend::Hierarchy {
+                req_xbar,
+                resp_xbar,
+                partitions,
+            } => {
+                let part_pending: u64 = partitions.iter().map(|p| p.pending_requests()).sum();
+                format!(
+                    "req_xbar={} pkts, partitions={} reqs, resp_xbar={} pkts",
+                    req_xbar.packets_in_network(),
+                    part_pending,
+                    resp_xbar.packets_in_network()
+                )
+            }
             Backend::Fixed(mem) => {
-                format!("{} responses pending", mem.pending_responses())
+                format!("fixed_memory={} responses pending", mem.pending_responses())
             }
         };
         format!(
@@ -593,7 +827,7 @@ impl GpuSimulator {
             } => (partitions.as_slice(), Some(req_xbar), Some(resp_xbar)),
             Backend::Fixed(_) => (&[][..], None, None),
         };
-        build_report(
+        let mut report = build_report(
             self.program.name(),
             &self.mode.to_string(),
             self.now,
@@ -601,6 +835,8 @@ impl GpuSimulator {
             partitions,
             req_xbar,
             resp_xbar,
-        )
+        );
+        report.degraded = self.degraded.clone();
+        report
     }
 }

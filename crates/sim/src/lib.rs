@@ -53,16 +53,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod fixed;
 mod gpu;
 mod parallel;
 mod partition;
 mod report;
+mod watchdog;
 
+pub use chaos::ChaosConfig;
 pub use fixed::FixedLatencyMemory;
-pub use gpu::{GpuSimulator, MemoryMode, SimError, SkipPolicy};
+pub use gpu::{GpuSimulator, MemoryMode, SkipPolicy};
 pub use partition::{L2Stats, MemoryPartition};
 pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
+pub use watchdog::{ProgressFingerprint, Watchdog};
+
+// The error taxonomy lives in `gpumem-types` (model crates construct the
+// variants directly); re-exported here so `gpumem_sim::SimError` keeps
+// working for downstream code that only sees run results.
+pub use gpumem_types::{ComponentOccupancy, Degradation, OldestFetch, SimError, WedgeDiagnosis};
 
 // The kernel abstraction is part of this crate's public API (every
 // constructor takes one), so re-export it for downstream convenience.

@@ -28,16 +28,17 @@
 //! Cycle structure (hierarchy mode; four barrier crossings per cycle):
 //!
 //! ```text
-//! main: is_done? watchdog? dispatch CTAs
+//! main: faults? is_done? budget? deadline? watchdog? dispatch CTAs, chaos
 //!         ── barrier 1 ──
 //! workers: partition shards step (pop req egress, L2+DRAM, push resp ingress)
 //!         ── barrier 2 ──
-//! main: request + response fabric tick over all ports in global order
+//! main: replay dead chunks' partition phase, then request + response
+//!       fabric tick over all ports in global order
 //!         ── barrier 3 ──
 //! workers: core shards step (pop resp egress, L1 fill, core cycle,
 //!          push req ingress), per-shard queue observes
 //!         ── barrier 4 ──
-//! main: advance clock, merge nothing (stats stay shard-local until exit)
+//! main: replay dead chunks' core phase, advance clock
 //! ```
 //!
 //! Fixed-latency mode needs only two crossings: the backend has no
@@ -46,26 +47,90 @@
 //! `(due, seq)` pop order per core) and refills from per-core outboxes in
 //! core index order (preserving submission sequence numbers).
 //!
+//! # Robustness
+//!
+//! Workers never unwind across the barrier protocol. Each phase runs under
+//! `catch_unwind`; a panic or a typed [`SimError`] marks the chunk *dead*
+//! and records a [`ChunkFault`], and the worker keeps honouring barriers
+//! (doing no further work) so nobody deadlocks. The coordinator notices
+//! the fault at the next cycle start:
+//!
+//! * An **injected** fault (the [`ChaosConfig::worker_panic_at`] fixture)
+//!   strikes at the shard boundary, before the worker touched this cycle's
+//!   state, so the coordinator replays both phases for the dead chunk —
+//!   bit-identical, since the phases only touch chunk-local state — and
+//!   the run degrades gracefully: it resumes on the sequential engine and
+//!   the report records the downgrade.
+//! * An **organic** panic may have torn mid-phase state, so the run aborts
+//!   with [`SimError::WorkerPanic`] instead of silently continuing.
+//! * A typed model error aborts with that error, exactly like the serial
+//!   engine.
+//!
+//! Chunk mutexes are locked poison-tolerantly throughout: a worker panic
+//! poisons its chunk, but the chunk data is still needed for diagnosis and
+//! reassembly.
+//!
 //! The barriers are sense-reversing spin barriers that yield after a
 //! short spin: on hosts with fewer hardware threads than workers (CI
 //! runners, single-CPU containers) pure spinning would deadlock-by-
 //! starvation the very thread everyone is waiting for.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use gpumem_noc::{Crossbar, EgressPort, IngressPort, Packet};
 use gpumem_simt::SimtCore;
-use gpumem_types::{host_wall_clock, Cycle, MemFetch, PartitionId};
+use gpumem_types::{host_wall_clock, Cycle, Degradation, HostStopwatch, MemFetch, PartitionId};
 
+use crate::chaos::ChaosEngine;
 use crate::gpu::Backend;
 use crate::report::HostPerf;
+use crate::watchdog::Watchdog;
 use crate::{FixedLatencyMemory, GpuSimulator, MemoryPartition, SimError, SimReport};
 
 /// How a parallel run ended.
 enum Outcome {
+    /// Kernel complete, memory drained.
     Done,
-    Watchdog,
+    /// `max_cycles` exhausted.
+    Budget,
+    /// The no-progress watchdog tripped.
+    Wedged,
+    /// An injected worker fault was absorbed; finish on the serial engine.
+    Degraded { at_cycle: u64 },
+    /// A typed error (model invariant, organic worker panic, deadline).
+    Fault(SimError),
+}
+
+/// What went wrong inside one worker's chunk.
+#[derive(Clone)]
+enum ChunkFault {
+    /// The seeded [`ChaosConfig::worker_panic_at`] fixture: the worker
+    /// "died" at the shard boundary, before touching this cycle's state.
+    Injected { cycle: u64 },
+    /// A real panic escaped a phase; chunk state may be mid-cycle.
+    Panic { cycle: u64, message: String },
+    /// A typed model error surfaced inside a phase.
+    Error(SimError),
+}
+
+/// Poison-tolerant lock: a worker that panicked mid-phase has already been
+/// recorded as a [`ChunkFault`], and the chunk data is still needed for
+/// fault reporting, diagnosis and reassembly.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// A reusable sense-reversing barrier for `total` participants.
@@ -155,24 +220,28 @@ struct HierChunk {
     delivered: u64,
     /// Requests injected by this chunk's cores (merged on exit).
     injected: u64,
+    /// First fault this chunk suffered, if any (the coordinator aborts or
+    /// degrades the run at the next cycle start).
+    fault: Option<ChunkFault>,
 }
 
 impl HierChunk {
     /// Phase A: step the partition shards for `now`.
-    fn phase_partitions(&mut self, now: Cycle) {
+    fn phase_partitions(&mut self, now: Cycle) -> Result<(), SimError> {
         for pp in &mut self.parts {
-            pp.part.cycle(now, &mut pp.req_out, &mut pp.resp_in);
+            pp.part.cycle(now, &mut pp.req_out, &mut pp.resp_in)?;
             // The serial loop observes partitions after the cores run, but
             // core activity never touches partition-internal queues, so
             // observing here is bit-identical and saves a phase.
             pp.part.observe();
         }
+        Ok(())
     }
 
     /// Phase B: step the core shards for `now`, then close the cycle's
     /// statistics window for every port this chunk owns (the fabric is
     /// quiescent again by this point).
-    fn phase_cores(&mut self, now: Cycle, params: &CoreParams) {
+    fn phase_cores(&mut self, now: Cycle, params: &CoreParams) -> Result<(), SimError> {
         for cp in &mut self.cores {
             // One L1 fill per cycle from the response network.
             if let Some(pkt) = cp.resp_out.pop_ejected() {
@@ -182,13 +251,22 @@ impl HierChunk {
             cp.core.cycle(now);
             // Inject as many fill requests as the input buffer accepts.
             while cp.core.peek_memory_request().is_some() && cp.req_in.can_inject() {
-                let mut fetch = cp.core.pop_memory_request().expect("peeked");
+                let Some(mut fetch) = cp.core.pop_memory_request() else {
+                    break;
+                };
                 let part = (fetch.line.index() % params.num_partitions) as usize;
                 fetch.partition = Some(PartitionId::new(part as u32));
                 fetch.timeline.icnt_inject = Some(now);
                 let bytes = fetch.request_bytes(params.line_bytes);
                 let pkt = Packet::new(fetch, part, bytes, params.flit_bytes);
-                cp.req_in.try_inject(pkt).expect("can_inject checked");
+                if cp.req_in.try_inject(pkt).is_err() {
+                    return Err(SimError::PortProtocol {
+                        component: "core",
+                        cycle: now.raw(),
+                        detail: "request crossbar rejected an injection after can_inject"
+                            .to_owned(),
+                    });
+                }
                 self.injected += 1;
             }
             cp.core.observe();
@@ -199,6 +277,7 @@ impl HierChunk {
             pp.req_out.observe();
             pp.resp_in.observe();
         }
+        Ok(())
     }
 
     /// True when every shard in this chunk is drained (the chunk's share
@@ -228,6 +307,7 @@ struct FixedPack {
 
 struct FixedChunk {
     cores: Vec<FixedPack>,
+    fault: Option<ChunkFault>,
 }
 
 impl FixedChunk {
@@ -261,6 +341,7 @@ pub(crate) fn run(
     threads: usize,
 ) -> Result<SimReport, SimError> {
     let wall_start = host_wall_clock();
+    let mut watchdog = sim.watchdog_horizon.map(Watchdog::new);
     let outcome = match &mut sim.backend {
         Backend::Hierarchy {
             req_xbar,
@@ -283,10 +364,16 @@ pub(crate) fn run(
                 stepped_cycles: &mut sim.stepped_cycles,
                 responses_delivered: &mut sim.responses_delivered,
                 requests_injected: &mut sim.requests_injected,
+                watchdog: watchdog.as_mut(),
+                chaos: sim.chaos.as_mut(),
+                deadline_seconds: sim.deadline_seconds,
+                wall_start: &wall_start,
             },
             max_cycles,
             threads,
         ),
+        // The fixed backend ignores chaos, exactly like the serial engine
+        // (its step has no ports or partitions to inject into).
         Backend::Fixed(mem) => run_fixed(
             &mut sim.cores,
             mem,
@@ -297,6 +384,10 @@ pub(crate) fn run(
                 stepped_cycles: &mut sim.stepped_cycles,
                 responses_delivered: &mut sim.responses_delivered,
                 requests_injected: &mut sim.requests_injected,
+                watchdog: watchdog.as_mut(),
+                chaos: None,
+                deadline_seconds: sim.deadline_seconds,
+                wall_start: &wall_start,
             },
             max_cycles,
             threads,
@@ -304,17 +395,38 @@ pub(crate) fn run(
     };
 
     match outcome {
-        Outcome::Watchdog => Err(SimError::Watchdog {
+        Outcome::Budget => Err(SimError::Watchdog {
             cycle: sim.now.raw(),
             instructions: sim.total_instructions(),
             detail: sim.liveness_detail(),
         }),
+        Outcome::Wedged => {
+            let diagnosis = match &watchdog {
+                Some(wd) => sim.wedge_diagnosis(wd),
+                // Unreachable: Wedged is only produced with a watchdog
+                // armed; keep the code total regardless.
+                None => sim.wedge_diagnosis(&Watchdog::new(1)),
+            };
+            Err(SimError::Wedged {
+                diagnosis: Box::new(diagnosis),
+            })
+        }
+        Outcome::Degraded { at_cycle } => {
+            // The faulted cycle was fully replayed by the coordinator, so
+            // the machine state equals the serial engine's at `now` and the
+            // sequential resume stays bit-identical.
+            sim.degraded = Some(Degradation {
+                at_cycle,
+                reason: format!(
+                    "worker fault at cycle {at_cycle}; cycle replayed by the \
+                     coordinator, run resumed on the sequential engine"
+                ),
+            });
+            sim.run_stepped(max_cycles)
+        }
+        Outcome::Fault(e) => Err(e),
         Outcome::Done => {
-            debug_assert_eq!(
-                sim.responses_delivered,
-                sim.expected_responses(),
-                "every load request must receive exactly one response"
-            );
+            sim.check_conservation()?;
             let wall = wall_start.elapsed_seconds();
             let mut report = sim.report();
             report.host = Some(HostPerf {
@@ -347,6 +459,10 @@ struct HarnessState<'a> {
     stepped_cycles: &'a mut u64,
     responses_delivered: &'a mut u64,
     requests_injected: &'a mut u64,
+    watchdog: Option<&'a mut Watchdog>,
+    chaos: Option<&'a mut ChaosEngine>,
+    deadline_seconds: Option<f64>,
+    wall_start: &'a HostStopwatch,
 }
 
 /// Dispatches ready CTAs over `cores` exactly like the serial
@@ -371,6 +487,20 @@ fn dispatch_ctas<'a>(
     }
 }
 
+/// Converts the first recorded chunk fault (scanning in chunk order) into
+/// the outcome that ends the run.
+fn fault_outcome(faults: impl Iterator<Item = (usize, ChunkFault)>) -> Option<Outcome> {
+    faults.into_iter().next().map(|(idx, f)| match f {
+        ChunkFault::Injected { cycle } => Outcome::Degraded { at_cycle: cycle },
+        ChunkFault::Panic { cycle, message } => Outcome::Fault(SimError::WorkerPanic {
+            cycle,
+            chunk: idx,
+            message,
+        }),
+        ChunkFault::Error(e) => Outcome::Fault(e),
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_hierarchy(
     cores: &mut Vec<SimtCore>,
@@ -378,7 +508,7 @@ fn run_hierarchy(
     req_xbar: &mut Crossbar,
     resp_xbar: &mut Crossbar,
     params: CoreParams,
-    state: HarnessState<'_>,
+    mut state: HarnessState<'_>,
     max_cycles: u64,
     threads: usize,
 ) -> Outcome {
@@ -418,6 +548,7 @@ fn run_hierarchy(
                     .collect(),
                 delivered: 0,
                 injected: 0,
+                fault: None,
             })
         })
         .collect();
@@ -428,35 +559,94 @@ fn run_hierarchy(
     let barrier = SpinBarrier::new(threads + 1);
     let exit = AtomicBool::new(false);
     let now_cell = AtomicU64::new(state.now.raw());
+    // One "this worker died" flag per chunk, outside the chunk mutex so the
+    // coordinator can poll it without locking.
+    let dead: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+    // The seeded worker-death fixture, if configured (chunk 0 only).
+    let panic_at: u64 = state
+        .chaos
+        .as_deref()
+        .and_then(ChaosEngine::worker_panic_at)
+        .unwrap_or(u64::MAX);
 
     let outcome = std::thread::scope(|s| {
-        for chunk in &chunks {
+        for (idx, chunk) in chunks.iter().enumerate() {
             let barrier = &barrier;
             let exit = &exit;
             let now_cell = &now_cell;
+            let my_dead = &dead[idx];
             s.spawn(move || loop {
                 barrier.wait(); // 1: cycle start (or shutdown)
                 if exit.load(Ordering::Acquire) {
                     break;
                 }
                 let now = Cycle::new(now_cell.load(Ordering::Acquire));
-                chunk.lock().expect("chunk lock").phase_partitions(now);
+                if idx == 0 && now.raw() >= panic_at && !my_dead.load(Ordering::Acquire) {
+                    // Simulated worker death at the shard boundary: this
+                    // cycle's state is untouched, so the coordinator can
+                    // replay both phases and degrade gracefully.
+                    my_dead.store(true, Ordering::Release);
+                    lock(chunk).fault = Some(ChunkFault::Injected { cycle: now.raw() });
+                }
+                if !my_dead.load(Ordering::Acquire) {
+                    match catch_unwind(AssertUnwindSafe(|| lock(chunk).phase_partitions(now))) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            my_dead.store(true, Ordering::Release);
+                            lock(chunk).fault = Some(ChunkFault::Error(e));
+                        }
+                        Err(payload) => {
+                            my_dead.store(true, Ordering::Release);
+                            lock(chunk).fault = Some(ChunkFault::Panic {
+                                cycle: now.raw(),
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
                 barrier.wait(); // 2: partitions done → fabric may tick
                 barrier.wait(); // 3: fabric done → cores may run
-                chunk.lock().expect("chunk lock").phase_cores(now, &params);
+                if !my_dead.load(Ordering::Acquire) {
+                    match catch_unwind(AssertUnwindSafe(|| lock(chunk).phase_cores(now, &params))) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            my_dead.store(true, Ordering::Release);
+                            lock(chunk).fault = Some(ChunkFault::Error(e));
+                        }
+                        Err(payload) => {
+                            my_dead.store(true, Ordering::Release);
+                            lock(chunk).fault = Some(ChunkFault::Panic {
+                                cycle: now.raw(),
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
                 barrier.wait(); // 4: cycle closed
             });
         }
 
         // Coordinator loop (this thread). Workers are parked at a barrier
         // whenever it locks chunks, so the locks never contend.
+        let mut coordinator_fault: Option<SimError> = None;
         let outcome = loop {
-            // is_done → watchdog → dispatch, exactly the serial order.
+            // faults → is_done → budget → deadline → watchdog → dispatch →
+            // chaos; the last five mirror the serial loop's order exactly.
             {
-                let mut guards: Vec<_> = chunks
-                    .iter()
-                    .map(|c| c.lock().expect("chunk lock"))
-                    .collect();
+                let mut guards: Vec<_> = chunks.iter().map(lock).collect();
+                if let Some(e) = coordinator_fault.take() {
+                    exit.store(true, Ordering::Release);
+                    break Outcome::Fault(e);
+                }
+                if let Some(outcome) = fault_outcome(
+                    guards
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, g)| g.fault.clone().map(|f| (i, f))),
+                ) {
+                    exit.store(true, Ordering::Release);
+                    break outcome;
+                }
                 let done = *state.next_cta >= state.program.grid_ctas()
                     && guards.iter().all(|g| g.is_idle());
                 if done {
@@ -465,7 +655,36 @@ fn run_hierarchy(
                 }
                 if state.now.raw() >= max_cycles {
                     exit.store(true, Ordering::Release);
-                    break Outcome::Watchdog;
+                    break Outcome::Budget;
+                }
+                if let Some(budget) = state.deadline_seconds {
+                    if (*state.stepped_cycles).is_multiple_of(1024)
+                        && state.wall_start.elapsed_seconds() > budget
+                    {
+                        exit.store(true, Ordering::Release);
+                        break Outcome::Fault(SimError::DeadlineExceeded {
+                            cycle: state.now.raw(),
+                            budget_seconds: budget,
+                        });
+                    }
+                }
+                if let Some(wd) = state.watchdog.as_deref_mut() {
+                    let instructions: u64 = guards
+                        .iter()
+                        .flat_map(|g| g.cores.iter())
+                        .map(|cp| cp.core.stats().instructions)
+                        .sum();
+                    let delivered = *state.responses_delivered
+                        + guards.iter().map(|g| g.delivered).sum::<u64>();
+                    let injected =
+                        *state.requests_injected + guards.iter().map(|g| g.injected).sum::<u64>();
+                    if wd.observe(
+                        *state.now,
+                        (instructions, delivered, injected, *state.next_cta),
+                    ) {
+                        exit.store(true, Ordering::Release);
+                        break Outcome::Wedged;
+                    }
                 }
                 dispatch_ctas(
                     guards
@@ -474,16 +693,44 @@ fn run_hierarchy(
                     state.program,
                     state.next_cta,
                 );
+                if let Some(chaos) = state.chaos.as_deref_mut() {
+                    // Same injection point and same global port/partition
+                    // order as the serial step(), so the schedule lands on
+                    // identical targets at identical cycles.
+                    let mut req_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_cores);
+                    let mut resp_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_parts);
+                    let mut parts: Vec<&mut MemoryPartition> = Vec::with_capacity(num_parts);
+                    for g in guards.iter_mut() {
+                        let chunk = &mut **g;
+                        for cp in &mut chunk.cores {
+                            req_ins.push(&mut cp.req_in);
+                        }
+                        for pp in &mut chunk.parts {
+                            resp_ins.push(&mut pp.resp_in);
+                            parts.push(&mut pp.part);
+                        }
+                    }
+                    chaos.apply(*state.now, &mut req_ins, &mut resp_ins, &mut parts);
+                }
             }
             let now = *state.now;
             now_cell.store(now.raw(), Ordering::Release);
             barrier.wait(); // 1
             barrier.wait(); // 2: partition phase complete
             {
-                let mut guards: Vec<_> = chunks
-                    .iter()
-                    .map(|c| c.lock().expect("chunk lock"))
-                    .collect();
+                let mut guards: Vec<_> = chunks.iter().map(lock).collect();
+                // Replay the partition phase of freshly-dead chunks whose
+                // fault struck before the phase ran (injected faults only;
+                // organic faults abort at the next cycle start anyway).
+                for (i, g) in guards.iter_mut().enumerate() {
+                    if dead[i].load(Ordering::Acquire)
+                        && matches!(g.fault, Some(ChunkFault::Injected { .. }))
+                    {
+                        if let Err(e) = g.phase_partitions(now) {
+                            g.fault = Some(ChunkFault::Error(e));
+                        }
+                    }
+                }
                 let mut req_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_cores);
                 let mut req_outs: Vec<&mut EgressPort> = Vec::with_capacity(num_parts);
                 let mut resp_ins: Vec<&mut IngressPort> = Vec::with_capacity(num_parts);
@@ -499,13 +746,34 @@ fn run_hierarchy(
                         resp_ins.push(&mut pp.resp_in);
                     }
                 }
-                req_xbar.fabric_mut().tick(now, &mut req_ins, &mut req_outs);
-                resp_xbar
+                // No `?` here: the ports are dismantled, so a typed error
+                // is parked and surfaced at the next cycle start.
+                let ticked = req_xbar
                     .fabric_mut()
-                    .tick(now, &mut resp_ins, &mut resp_outs);
+                    .tick(now, &mut req_ins, &mut req_outs)
+                    .and_then(|()| {
+                        resp_xbar
+                            .fabric_mut()
+                            .tick(now, &mut resp_ins, &mut resp_outs)
+                    });
+                if let Err(e) = ticked {
+                    coordinator_fault = Some(e);
+                }
             }
             barrier.wait(); // 3
             barrier.wait(); // 4: core phase complete
+            if dead.iter().any(|d| d.load(Ordering::Acquire)) {
+                let mut guards: Vec<_> = chunks.iter().map(lock).collect();
+                for (i, g) in guards.iter_mut().enumerate() {
+                    if dead[i].load(Ordering::Acquire)
+                        && matches!(g.fault, Some(ChunkFault::Injected { .. }))
+                    {
+                        if let Err(e) = g.phase_cores(now, &params) {
+                            g.fault = Some(ChunkFault::Error(e));
+                        }
+                    }
+                }
+            }
             *state.stepped_cycles += 1;
             *state.now = now.next();
         };
@@ -520,7 +788,7 @@ fn run_hierarchy(
     let mut resp_ins = Vec::with_capacity(num_parts);
     let mut resp_outs = Vec::with_capacity(num_cores);
     for chunk in chunks {
-        let chunk = chunk.into_inner().expect("worker panicked");
+        let chunk = chunk.into_inner().unwrap_or_else(PoisonError::into_inner);
         for cp in chunk.cores {
             cores.push(cp.core);
             req_ins.push(cp.req_in);
@@ -542,7 +810,7 @@ fn run_hierarchy(
 fn run_fixed(
     cores: &mut Vec<SimtCore>,
     mem: &mut FixedLatencyMemory,
-    state: HarnessState<'_>,
+    mut state: HarnessState<'_>,
     max_cycles: u64,
     threads: usize,
 ) -> Outcome {
@@ -568,6 +836,7 @@ fn run_fixed(
                         outbox: Vec::new(),
                     })
                     .collect(),
+                fault: None,
             })
         })
         .collect();
@@ -577,29 +846,46 @@ fn run_fixed(
     let barrier = SpinBarrier::new(threads + 1);
     let exit = AtomicBool::new(false);
     let now_cell = AtomicU64::new(state.now.raw());
+    let dead: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
 
     let outcome = std::thread::scope(|s| {
-        for chunk in &chunks {
+        for (idx, chunk) in chunks.iter().enumerate() {
             let barrier = &barrier;
             let exit = &exit;
             let now_cell = &now_cell;
+            let my_dead = &dead[idx];
             s.spawn(move || loop {
                 barrier.wait(); // 1: cycle start (or shutdown)
                 if exit.load(Ordering::Acquire) {
                     break;
                 }
                 let now = Cycle::new(now_cell.load(Ordering::Acquire));
-                chunk.lock().expect("chunk lock").phase(now);
+                if !my_dead.load(Ordering::Acquire) {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| lock(chunk).phase(now)))
+                    {
+                        my_dead.store(true, Ordering::Release);
+                        lock(chunk).fault = Some(ChunkFault::Panic {
+                            cycle: now.raw(),
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
                 barrier.wait(); // 2: cycle closed
             });
         }
 
         let outcome = loop {
             {
-                let mut guards: Vec<_> = chunks
-                    .iter()
-                    .map(|c| c.lock().expect("chunk lock"))
-                    .collect();
+                let mut guards: Vec<_> = chunks.iter().map(lock).collect();
+                if let Some(outcome) = fault_outcome(
+                    guards
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, g)| g.fault.clone().map(|f| (i, f))),
+                ) {
+                    exit.store(true, Ordering::Release);
+                    break outcome;
+                }
                 let done = *state.next_cta >= state.program.grid_ctas()
                     && guards.iter().all(|g| g.is_idle())
                     && mem.is_idle();
@@ -609,7 +895,37 @@ fn run_fixed(
                 }
                 if state.now.raw() >= max_cycles {
                     exit.store(true, Ordering::Release);
-                    break Outcome::Watchdog;
+                    break Outcome::Budget;
+                }
+                if let Some(budget) = state.deadline_seconds {
+                    if (*state.stepped_cycles).is_multiple_of(1024)
+                        && state.wall_start.elapsed_seconds() > budget
+                    {
+                        exit.store(true, Ordering::Release);
+                        break Outcome::Fault(SimError::DeadlineExceeded {
+                            cycle: state.now.raw(),
+                            budget_seconds: budget,
+                        });
+                    }
+                }
+                if let Some(wd) = state.watchdog.as_deref_mut() {
+                    let instructions: u64 = guards
+                        .iter()
+                        .flat_map(|g| g.cores.iter())
+                        .map(|fp| fp.core.stats().instructions)
+                        .sum();
+                    if wd.observe(
+                        *state.now,
+                        (
+                            instructions,
+                            *state.responses_delivered,
+                            *state.requests_injected,
+                            *state.next_cta,
+                        ),
+                    ) {
+                        exit.store(true, Ordering::Release);
+                        break Outcome::Wedged;
+                    }
                 }
                 dispatch_ctas(
                     guards
@@ -636,10 +952,7 @@ fn run_fixed(
                 // Submit buffered requests in core index order: the
                 // backend stamps arrival sequence numbers, and this order
                 // is exactly the serial engine's.
-                let mut guards: Vec<_> = chunks
-                    .iter()
-                    .map(|c| c.lock().expect("chunk lock"))
-                    .collect();
+                let mut guards: Vec<_> = chunks.iter().map(lock).collect();
                 for g in guards.iter_mut() {
                     for fp in &mut g.cores {
                         for fetch in fp.outbox.drain(..) {
@@ -657,9 +970,8 @@ fn run_fixed(
     });
 
     for chunk in chunks {
-        let chunk = chunk.into_inner().expect("worker panicked");
+        let chunk = chunk.into_inner().unwrap_or_else(PoisonError::into_inner);
         for fp in chunk.cores {
-            debug_assert!(fp.inbox.is_empty() && fp.outbox.is_empty());
             cores.push(fp.core);
         }
     }

@@ -9,9 +9,12 @@ use gpumem_config::GpuConfig;
 use gpumem_dram::DramChannel;
 use gpumem_noc::{EgressPort, IngressPort, Packet};
 use gpumem_types::{
-    AccessKind, Cycle, FetchArena, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimQueue,
-    SlotId,
+    AccessKind, Cycle, FetchArena, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimError,
+    SimQueue, SlotId,
 };
+
+/// Component label used in this partition's typed errors.
+const COMPONENT: &str = "l2_partition";
 
 /// Activity counters for one partition's L2 slice.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -144,6 +147,12 @@ pub struct MemoryPartition {
     next_seq: u64,
     next_wb_seq: u64,
     stats: L2Stats,
+    /// Fault injection: the MSHR miss path stalls (as if the table were
+    /// full) before this cycle. `Cycle::ZERO` = inert.
+    chaos_mshr_until: Cycle,
+    /// Fault injection: no request is forwarded to the DRAM channel before
+    /// this cycle. `Cycle::ZERO` = inert.
+    chaos_dram_until: Cycle,
 }
 
 impl std::fmt::Debug for MemoryPartition {
@@ -196,6 +205,8 @@ impl MemoryPartition {
             next_seq: 0,
             next_wb_seq: 0,
             stats: L2Stats::default(),
+            chaos_mshr_until: Cycle::ZERO,
+            chaos_dram_until: Cycle::ZERO,
         }
     }
 
@@ -219,46 +230,71 @@ impl MemoryPartition {
     /// Taking the two ports rather than whole crossbars is what makes a
     /// partition shardable: these are the only pieces of interconnect
     /// state it touches, and both are exclusively its own.
-    pub fn cycle(&mut self, now: Cycle, req_ej: &mut EgressPort, resp_in: &mut IngressPort) {
-        self.intake(now, req_ej);
-        self.dram.tick(now);
-        self.drain_dram_returns();
-        self.process_fill(now);
-        self.land_bank_completions(now);
-        self.serve_access_queue(now);
-        self.drain_miss_pipeline(now);
-        self.forward_misses_to_dram(now);
-        self.inject_responses(now, resp_in);
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SimError`] when an internal invariant is violated
+    /// (queue overflow after a fullness check, MSHR bookkeeping leak, port
+    /// protocol violation) — never on ordinary congestion.
+    pub fn cycle(
+        &mut self,
+        now: Cycle,
+        req_ej: &mut EgressPort,
+        resp_in: &mut IngressPort,
+    ) -> Result<(), SimError> {
+        self.intake(now, req_ej)?;
+        self.dram.tick(now)?;
+        self.drain_dram_returns(now)?;
+        self.process_fill(now)?;
+        self.land_bank_completions(now)?;
+        self.serve_access_queue(now)?;
+        self.drain_miss_pipeline(now)?;
+        self.forward_misses_to_dram(now)?;
+        self.inject_responses(now, resp_in)
+    }
+
+    fn overflow(&self, queue: &'static str, now: Cycle) -> SimError {
+        SimError::QueueOverflow {
+            component: COMPONENT,
+            queue,
+            cycle: now.raw(),
+        }
     }
 
     /// Moves one request per cycle from the crossbar ejection queue into
     /// the L2 access queue (stamping its arrival).
-    fn intake(&mut self, now: Cycle, req_ej: &mut EgressPort) {
+    fn intake(&mut self, now: Cycle, req_ej: &mut EgressPort) -> Result<(), SimError> {
         if self.access_queue.is_full() {
-            return; // ejection queue backs up → crossbar credits stall
+            return Ok(()); // ejection queue backs up → crossbar credits stall
         }
         if let Some(mut pkt) = req_ej.pop_ejected() {
             pkt.fetch.timeline.l2_arrive = Some(now);
-            self.access_queue
-                .push(pkt.fetch)
-                .expect("fullness checked above");
+            if self.access_queue.push(pkt.fetch).is_err() {
+                return Err(self.overflow("l2_access", now));
+            }
         }
+        Ok(())
     }
 
-    fn drain_dram_returns(&mut self) {
+    fn drain_dram_returns(&mut self, now: Cycle) -> Result<(), SimError> {
         while !self.response_queue.is_full() {
             match self.dram.pop_return() {
-                Some(f) => self.response_queue.push(f).expect("fullness checked above"),
+                Some(f) => {
+                    if self.response_queue.push(f).is_err() {
+                        return Err(self.overflow("l2_response", now));
+                    }
+                }
                 None => break,
             }
         }
+        Ok(())
     }
 
     /// Installs one DRAM fill per cycle: allocates the line, emits a
     /// writeback for a dirty victim, and releases every merged waiter.
-    fn process_fill(&mut self, now: Cycle) {
+    fn process_fill(&mut self, now: Cycle) -> Result<(), SimError> {
         let Some(head) = self.response_queue.front() else {
-            return;
+            return Ok(());
         };
         let line = head.line;
         let (bank, set) = self.map(line);
@@ -266,7 +302,7 @@ impl MemoryPartition {
         // to_icnt slot per load waiter.
         if self.wb_queue.is_full() {
             self.stats.stall_fill += 1;
-            return;
+            return Ok(());
         }
         let load_waiters = self
             .mshr
@@ -282,10 +318,12 @@ impl MemoryPartition {
             .unwrap_or(0);
         if self.to_icnt.free() < load_waiters {
             self.stats.stall_fill += 1;
-            return;
+            return Ok(());
         }
 
-        let fill = self.response_queue.pop().expect("front checked");
+        let Some(fill) = self.response_queue.pop() else {
+            return Ok(());
+        };
         self.stats.fills += 1;
         match self.tags[bank].fill(set, line, now) {
             ReplacementOutcome::Evicted(e) if e.dirty => {
@@ -295,7 +333,9 @@ impl MemoryPartition {
                 self.next_wb_seq += 1;
                 let wb = MemFetch::new_writeback(wb_id, e.line, self.id);
                 self.stats.writebacks += 1;
-                self.wb_queue.push(wb).expect("fullness checked above");
+                if self.wb_queue.push(wb).is_err() {
+                    return Err(self.overflow("l2_writeback", now));
+                }
             }
             _ => {}
         }
@@ -309,13 +349,21 @@ impl MemoryPartition {
         for w in self.mshr.complete(line) {
             match w {
                 L2Waiter::Primary(kind) => {
-                    let body = primary.take().expect("exactly one primary per entry");
+                    let Some(body) = primary.take() else {
+                        return Err(SimError::MshrLeak {
+                            component: COMPONENT,
+                            cycle: now.raw(),
+                            detail: format!("two primary waiters on MSHR entry for {line:?}"),
+                        });
+                    };
                     match kind {
                         // A load primary's response is the fill itself:
                         // same id/kind/timeline as the request that
                         // allocated the entry, dram_arrive already stamped.
                         AccessKind::Load => {
-                            self.to_icnt.push(body).expect("room checked above");
+                            if self.to_icnt.push(body).is_err() {
+                                return Err(self.overflow("l2_to_icnt", now));
+                            }
                         }
                         // A store primary fetched the line write-allocate
                         // style; it only dirties the installed line.
@@ -329,7 +377,9 @@ impl MemoryPartition {
                     match f.kind {
                         AccessKind::Load => {
                             f.timeline.dram_arrive = dram_arrive;
-                            self.to_icnt.push(f).expect("room checked above");
+                            if self.to_icnt.push(f).is_err() {
+                                return Err(self.overflow("l2_to_icnt", now));
+                            }
                         }
                         AccessKind::Store => {
                             self.tags[bank].mark_dirty(set, line);
@@ -338,10 +388,21 @@ impl MemoryPartition {
                 }
             }
         }
+        // Every MSHR entry holds exactly one primary; a fill that consumed
+        // no primary means the entry was missing or malformed — a leak that
+        // must fail loudly, not drop the line on the floor.
+        if primary.is_some() {
+            return Err(SimError::MshrLeak {
+                component: COMPONENT,
+                cycle: now.raw(),
+                detail: format!("fill for {line:?} found no primary waiter (stray fill)"),
+            });
+        }
+        Ok(())
     }
 
     /// Lands finished bank accesses (load hits) into the response path.
-    fn land_bank_completions(&mut self, now: Cycle) {
+    fn land_bank_completions(&mut self, now: Cycle) -> Result<(), SimError> {
         while let Some(head) = self.completions.peek() {
             if head.done_at > now || self.to_icnt.is_full() {
                 if head.done_at <= now {
@@ -349,15 +410,20 @@ impl MemoryPartition {
                 }
                 break;
             }
-            let c = self.completions.pop().expect("peeked");
-            self.to_icnt.push(c.fetch).expect("fullness checked");
+            let Some(c) = self.completions.pop() else {
+                break;
+            };
+            if self.to_icnt.push(c.fetch).is_err() {
+                return Err(self.overflow("l2_to_icnt", now));
+            }
         }
+        Ok(())
     }
 
     /// Serves the head of the access queue (one access per cycle).
-    fn serve_access_queue(&mut self, now: Cycle) {
+    fn serve_access_queue(&mut self, now: Cycle) -> Result<(), SimError> {
         let Some(head) = self.access_queue.front() else {
-            return;
+            return Ok(());
         };
         let line = head.line;
         let kind = head.kind;
@@ -365,7 +431,7 @@ impl MemoryPartition {
 
         if self.bank_next_accept[bank] > now {
             self.stats.stall_bank_busy += 1;
-            return;
+            return Ok(());
         }
 
         // A load hit needs somewhere to put its response. If the path to
@@ -379,12 +445,14 @@ impl MemoryPartition {
             && self.tags[bank].probe(set, line).is_some()
         {
             self.stats.stall_fill += 1;
-            return;
+            return Ok(());
         }
 
         let resident = self.tags[bank].access(set, line, now);
         if resident {
-            let fetch = self.access_queue.pop().expect("front checked");
+            let Some(fetch) = self.access_queue.pop() else {
+                return Ok(());
+            };
             match kind {
                 AccessKind::Load => {
                     self.stats.load_hits += 1;
@@ -402,48 +470,72 @@ impl MemoryPartition {
                     self.bank_next_accept[bank] = now + self.port_cycles;
                 }
             }
-            return;
+            return Ok(());
+        }
+
+        // Fault injection: a transient MSHR stall behaves exactly like a
+        // full table (inert while `chaos_mshr_until` is ZERO).
+        if now < self.chaos_mshr_until {
+            self.stats.stall_mshr += 1;
+            return Ok(());
         }
 
         // Miss path: merge if outstanding, else allocate + fetch from DRAM.
         if self.mshr.contains(line) {
             if !self.mshr.can_accept(line) {
                 self.stats.stall_mshr += 1;
-                return;
+                return Ok(());
             }
-            let fetch = self.access_queue.pop().expect("front checked");
+            let Some(fetch) = self.access_queue.pop() else {
+                return Ok(());
+            };
             let slot = self.arena.insert(fetch);
-            self.mshr
-                .allocate(line, L2Waiter::Merged(slot))
-                .expect("capacity checked");
+            if self.mshr.allocate(line, L2Waiter::Merged(slot)).is_err() {
+                return Err(SimError::MshrLeak {
+                    component: COMPONENT,
+                    cycle: now.raw(),
+                    detail: format!("merge for {line:?} rejected after capacity check"),
+                });
+            }
             self.stats.merged_misses += 1;
             self.bank_next_accept[bank] = now.next();
-            return;
+            return Ok(());
         }
         if !self.mshr.can_accept(line) {
             self.stats.stall_mshr += 1;
-            return;
+            return Ok(());
         }
-        let mut dram_req = self.access_queue.pop().expect("front checked");
+        let Some(mut dram_req) = self.access_queue.pop() else {
+            return Ok(());
+        };
         // The downstream request always *reads* the line (write-allocate:
         // a store miss fetches the line, then the waiter dirties it). The
         // allocating request itself becomes the DRAM fetch — only its
         // original kind stays behind in the MSHR entry. The request first
         // traverses the bank pipeline (tag access + request generation)
         // before becoming eligible for the miss queue.
-        self.mshr
+        if self
+            .mshr
             .allocate(line, L2Waiter::Primary(dram_req.kind))
-            .expect("capacity checked");
+            .is_err()
+        {
+            return Err(SimError::MshrLeak {
+                component: COMPONENT,
+                cycle: now.raw(),
+                detail: format!("allocation for {line:?} rejected after capacity check"),
+            });
+        }
         dram_req.kind = AccessKind::Load;
         self.stats.misses += 1;
         self.miss_pipeline
             .push_back((now + self.bank_latency, dram_req));
         self.bank_next_accept[bank] = now.next();
+        Ok(())
     }
 
     /// Moves misses whose bank-pipeline delay elapsed into the bounded
     /// miss queue (in order; the head blocks on a full queue).
-    fn drain_miss_pipeline(&mut self, now: Cycle) {
+    fn drain_miss_pipeline(&mut self, now: Cycle) -> Result<(), SimError> {
         while let Some((ready, _)) = self.miss_pipeline.front() {
             if *ready > now {
                 break;
@@ -452,48 +544,76 @@ impl MemoryPartition {
                 self.stats.stall_miss_queue += 1;
                 break;
             }
-            let (_, fetch) = self.miss_pipeline.pop_front().expect("peeked");
-            self.miss_queue.push(fetch).expect("fullness checked");
+            let Some((_, fetch)) = self.miss_pipeline.pop_front() else {
+                break;
+            };
+            if self.miss_queue.push(fetch).is_err() {
+                return Err(self.overflow("l2_miss", now));
+            }
         }
+        Ok(())
     }
 
-    fn forward_misses_to_dram(&mut self, now: Cycle) {
+    fn forward_misses_to_dram(&mut self, now: Cycle) -> Result<(), SimError> {
+        // Fault injection: DRAM lockout — the channel stops accepting new
+        // requests (in-service ones still complete). Inert while
+        // `chaos_dram_until` is ZERO.
+        if now < self.chaos_dram_until {
+            return Ok(());
+        }
         if self.miss_queue.front().is_some() && self.dram.can_accept(AccessKind::Load) {
-            let fetch = self.miss_queue.pop().expect("front checked");
-            self.dram
-                .try_push(fetch, now)
-                .expect("acceptance checked above");
+            if let Some(fetch) = self.miss_queue.pop() {
+                if self.dram.try_push(fetch, now).is_err() {
+                    return Err(self.overflow("dram_sched", now));
+                }
+            }
         }
         if self.wb_queue.front().is_some() && self.dram.can_accept(AccessKind::Store) {
-            let wb = self.wb_queue.pop().expect("front checked");
-            self.dram
-                .try_push(wb, now)
-                .expect("acceptance checked above");
+            if let Some(wb) = self.wb_queue.pop() {
+                if self.dram.try_push(wb, now).is_err() {
+                    return Err(self.overflow("dram_write", now));
+                }
+            }
         }
+        Ok(())
     }
 
     /// Streams one response through the data port into this partition's
     /// input port on the response crossbar.
-    fn inject_responses(&mut self, now: Cycle, resp_in: &mut IngressPort) {
+    fn inject_responses(&mut self, now: Cycle, resp_in: &mut IngressPort) -> Result<(), SimError> {
         if self.port_free_at > now {
-            return;
+            return Ok(());
         }
         let Some(head) = self.to_icnt.front() else {
-            return;
+            return Ok(());
         };
         if !resp_in.can_inject() {
-            return;
+            return Ok(());
         }
-        let bytes = head
-            .response_bytes(self.line_bytes)
-            .expect("only loads enter to_icnt");
-        let fetch = self.to_icnt.pop().expect("front checked");
+        let Some(bytes) = head.response_bytes(self.line_bytes) else {
+            return Err(SimError::PortProtocol {
+                component: COMPONENT,
+                cycle: now.raw(),
+                detail: format!(
+                    "non-load fetch {:?} reached the response port (only loads may enter l2_to_icnt)",
+                    head.id
+                ),
+            });
+        };
+        let Some(fetch) = self.to_icnt.pop() else {
+            return Ok(());
+        };
         let dest = fetch.core.index();
         let packet = Packet::new(fetch, dest, bytes, self.flit_bytes);
-        resp_in
-            .try_inject(packet)
-            .expect("can_inject checked above");
+        if resp_in.try_inject(packet).is_err() {
+            return Err(SimError::PortProtocol {
+                component: COMPONENT,
+                cycle: now.raw(),
+                detail: "response crossbar rejected an injection after can_inject".to_owned(),
+            });
+        }
         self.port_free_at = now + self.port_cycles;
+        Ok(())
     }
 
     /// Per-cycle statistics bookkeeping.
@@ -638,5 +758,99 @@ impl MemoryPartition {
     /// The DRAM channel behind this partition.
     pub fn dram(&self) -> &DramChannel {
         &self.dram
+    }
+
+    /// Fault injection: stall the MSHR miss path (as if the table were
+    /// full) until `until`.
+    pub fn chaos_stall_mshr(&mut self, until: Cycle) {
+        self.chaos_mshr_until = until;
+    }
+
+    /// Fault injection: lock the DRAM channel intake (in-service requests
+    /// still complete) until `until`.
+    pub fn chaos_lock_dram(&mut self, until: Cycle) {
+        self.chaos_dram_until = until;
+    }
+
+    /// Pipeline-ordered occupancy of every stage in this partition, for
+    /// liveness reporting and wedge diagnosis. Stages with zero pending
+    /// work are included so the breakdown has a stable shape.
+    pub fn pending_breakdown(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("l2_access", self.access_queue.len() as u64),
+            (
+                "l2_bank_pipeline",
+                (self.miss_pipeline.len() + self.completions.len()) as u64,
+            ),
+            ("l2_mshr", self.mshr.len() as u64),
+            ("l2_miss", self.miss_queue.len() as u64),
+            ("l2_writeback", self.wb_queue.len() as u64),
+            ("dram", self.dram.in_flight() as u64),
+            ("l2_response", self.response_queue.len() as u64),
+            ("l2_to_icnt", self.to_icnt.len() as u64),
+        ]
+    }
+
+    /// Total physical fetches resident in this partition (MSHR waiter
+    /// handles are excluded — their bodies are counted where they sit).
+    pub fn pending_requests(&self) -> u64 {
+        (self.access_queue.len()
+            + self.miss_pipeline.len()
+            + self.miss_queue.len()
+            + self.wb_queue.len()
+            + self.response_queue.len()
+            + self.to_icnt.len()
+            + self.completions.len()
+            + self.dram.in_flight()) as u64
+    }
+
+    /// Pipeline-ordered names of the stages currently unable to accept
+    /// work — the raw material for a wedge diagnosis blocked chain.
+    pub fn blocked_stages(&self, now: Cycle) -> Vec<&'static str> {
+        let mut blocked = Vec::new();
+        if self.access_queue.is_full() {
+            blocked.push("l2_access(full)");
+        }
+        if self.mshr.len() >= self.mshr.capacity() {
+            blocked.push("l2_mshr(full)");
+        }
+        if now < self.chaos_mshr_until {
+            blocked.push("l2_mshr(chaos-stalled)");
+        }
+        if self.miss_queue.is_full() {
+            blocked.push("l2_miss(full)");
+        }
+        if self.wb_queue.is_full() {
+            blocked.push("l2_writeback(full)");
+        }
+        if now < self.chaos_dram_until {
+            blocked.push("dram(locked)");
+        }
+        if !self.dram.can_accept(AccessKind::Load) {
+            blocked.push("dram_sched(full)");
+        }
+        if self.response_queue.is_full() {
+            blocked.push("l2_response(full)");
+        }
+        if self.to_icnt.is_full() {
+            blocked.push("l2_to_icnt(full)");
+        }
+        blocked
+    }
+
+    /// Every fetch physically resident in this partition, for oldest-fetch
+    /// wedge diagnosis. Merged-miss bodies parked in the arena are
+    /// intentionally skipped: their primary travels through DRAM and is
+    /// surveyed there.
+    pub fn fetches(&self) -> impl Iterator<Item = &MemFetch> {
+        self.access_queue
+            .iter()
+            .chain(self.miss_pipeline.iter().map(|(_, f)| f))
+            .chain(self.miss_queue.iter())
+            .chain(self.wb_queue.iter())
+            .chain(self.response_queue.iter())
+            .chain(self.to_icnt.iter())
+            .chain(self.completions.iter().map(|c| &c.fetch))
+            .chain(self.dram.fetches())
     }
 }

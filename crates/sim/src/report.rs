@@ -117,6 +117,10 @@ pub struct SimReport {
     /// Host-side throughput of the run (absent for mid-run snapshots;
     /// excluded from determinism comparisons).
     pub host: Option<HostPerf>,
+    /// Set when the parallel engine lost a worker mid-run and finished the
+    /// simulation on the sequential engine. The simulated results are still
+    /// exact; this records that the run took the slow path and why.
+    pub degraded: Option<gpumem_types::Degradation>,
 }
 
 impl SimReport {
@@ -222,6 +226,7 @@ pub(crate) fn build_report(
         dram,
         noc,
         host: None,
+        degraded: None,
     }
 }
 
@@ -243,6 +248,7 @@ mod tests {
             dram: None,
             noc: None,
             host: None,
+            degraded: None,
         };
         assert_eq!(r.avg_l1_miss_latency(), 0.0);
         assert_eq!(r.l2_access_queue_full_fraction(), None);
@@ -271,6 +277,7 @@ mod tests {
                 skipped_fraction: 0.4,
                 threads: 1,
             }),
+            degraded: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: SimReport = serde_json::from_str(&json).unwrap();

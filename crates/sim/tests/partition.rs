@@ -50,9 +50,10 @@ impl Rig {
         for _ in 0..budget {
             self.pump_outbox();
             self.part
-                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0));
-            self.req.tick(self.now);
-            self.resp.tick(self.now);
+                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0))
+                .unwrap();
+            self.req.tick(self.now).unwrap();
+            self.resp.tick(self.now).unwrap();
             self.part.observe();
             for c in 0..self.cfg.num_cores {
                 while let Some(pkt) = self.resp.pop_ejected(c) {
@@ -72,9 +73,10 @@ impl Rig {
         for _ in 0..budget {
             self.pump_outbox();
             self.part
-                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0));
-            self.req.tick(self.now);
-            self.resp.tick(self.now);
+                .cycle(self.now, self.req.egress_mut(0), self.resp.ingress_mut(0))
+                .unwrap();
+            self.req.tick(self.now).unwrap();
+            self.resp.tick(self.now).unwrap();
             for c in 0..self.cfg.num_cores {
                 while let Some(pkt) = self.resp.pop_ejected(c) {
                     got.push(pkt.fetch);

@@ -197,11 +197,9 @@ impl SimtCore {
     /// Panics if [`can_accept_cta`](SimtCore::can_accept_cta) is false.
     pub fn assign_cta(&mut self, cta: CtaId) {
         assert!(self.can_accept_cta(), "no room for CTA on {}", self.id);
-        let slot = self
-            .ctas
-            .iter()
-            .position(|c| c.is_none())
-            .expect("checked by can_accept_cta");
+        let Some(slot) = self.ctas.iter().position(|c| c.is_none()) else {
+            return; // unreachable: can_accept_cta asserted above
+        };
         let mut warp_slots = Vec::with_capacity(self.program.warps_per_cta() as usize);
         let mut warp_in_cta = 0;
         for (idx, w) in self.warps.iter_mut().enumerate() {
@@ -300,7 +298,9 @@ impl SimtCore {
         if !drained {
             return;
         }
-        let state = self.ctas[cta_slot].take().expect("checked above");
+        let Some(state) = self.ctas[cta_slot].take() else {
+            return;
+        };
         for &w in &state.warp_slots {
             self.warps[w] = WarpSlot::empty();
         }
@@ -335,7 +335,10 @@ impl SimtCore {
         if let Some(reg) = &mut self.issue_reg {
             if !self.lsu_queue.is_full() {
                 if let Some(access) = reg.accesses.pop_front() {
-                    self.lsu_queue.push(access).expect("fullness checked above");
+                    if let Err(e) = self.lsu_queue.push(access) {
+                        // Unreachable after is_full; retry next cycle.
+                        reg.accesses.push_front(e.into_inner());
+                    }
                 }
             }
             if reg.accesses.is_empty() {
@@ -391,7 +394,9 @@ impl SimtCore {
             let instr = self.program.instr(warp.cta, warp.warp_in_cta, warp.pc);
             self.warps[w].decoded = Some(instr);
         }
-        let decoded = self.warps[w].decoded.as_ref().expect("filled just above");
+        let Some(decoded) = self.warps[w].decoded.as_ref() else {
+            return false; // unreachable: filled just above
+        };
 
         match decoded {
             None => {

@@ -41,6 +41,7 @@
 
 mod addr;
 mod cycle;
+mod error;
 mod fetch;
 mod histogram;
 mod host;
@@ -52,6 +53,7 @@ mod slab;
 
 pub use addr::{Addr, LineAddr};
 pub use cycle::Cycle;
+pub use error::{ComponentOccupancy, Degradation, OldestFetch, SimError, WedgeDiagnosis};
 pub use fetch::{AccessKind, FetchId, FetchTimeline, MemFetch};
 pub use histogram::Histogram;
 pub use host::{host_wall_clock, HostStopwatch};

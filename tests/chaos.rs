@@ -1,0 +1,293 @@
+//! Robustness tests for the deterministic fault-injection harness and the
+//! simulation watchdog.
+//!
+//! The contract under test: for *any* [`ChaosConfig`] schedule a run
+//! either completes, returns a typed [`SimError`], or trips the watchdog
+//! within its horizon — it never hangs and never panics. Chaos schedules
+//! are seed-deterministic and engine-independent: the same seed produces
+//! bit-identical outcomes from the serial and sharded-parallel engines at
+//! every thread count, and a chaos-off run is bit-identical to a run with
+//! no chaos attached at all.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gpumem::prelude::*;
+use gpumem_sim::{ChaosConfig, KernelProgram, SimError};
+use gpumem_workloads::{params_of, SyntheticKernel, WorkloadParams};
+use proptest::prelude::*;
+
+/// Safety cap on simulated cycles: every workload here finishes far below
+/// this, so hitting it means the machine stopped making progress.
+const CYCLE_CAP: u64 = 2_000_000;
+
+/// Watchdog horizon used by chaos runs: far beyond any transient fault
+/// duration, far below the cycle cap.
+const HORIZON: u64 = 5_000;
+
+fn small_gpu() -> GpuConfig {
+    let mut cfg = GpuConfig::gtx480();
+    cfg.num_cores = 3;
+    cfg.num_partitions = 2;
+    cfg
+}
+
+/// A suite benchmark scaled down for integration testing.
+fn suite_kernel(name: &str) -> Arc<dyn KernelProgram> {
+    let p = params_of(name).unwrap().scaled(0.1);
+    Arc::new(SyntheticKernel::new(p))
+}
+
+/// A tiny behaviourally varied workload for the property sweep.
+fn tiny_kernel(seed: u64) -> Arc<dyn KernelProgram> {
+    let mut p = WorkloadParams::template("chaos-prop");
+    p.ctas = 4;
+    p.warps_per_cta = 2;
+    p.max_ctas_per_core = 2;
+    p.iters = 3;
+    p.loads_per_iter = 2;
+    p.lines_per_load_max = 4;
+    p.working_set_lines = 1_000;
+    p.l1_reuse_fraction = 0.2;
+    p.seed = seed;
+    p.validate();
+    Arc::new(SyntheticKernel::new(p))
+}
+
+/// Runs `f` on a helper thread and panics if it produces no result within
+/// `secs` — the hard hang bound the chaos contract promises. (The helper
+/// thread leaks on timeout, which is fine: the test is already failing.)
+fn with_timeout<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("simulation hung: no outcome within the hard timeout")
+}
+
+fn chaos_sim(
+    cfg: &GpuConfig,
+    program: &Arc<dyn KernelProgram>,
+    chaos: ChaosConfig,
+) -> GpuSimulator {
+    let mut sim = GpuSimulator::new(cfg.clone(), Arc::clone(program), MemoryMode::Hierarchy);
+    sim.set_chaos(chaos);
+    sim.set_watchdog(Some(HORIZON));
+    sim
+}
+
+/// Canonical form of an outcome: completed reports as JSON minus the host
+/// block, errors in debug form. Equal strings = bit-identical outcomes.
+fn canonical(outcome: &Result<SimReport, SimError>) -> String {
+    match outcome {
+        Ok(report) => {
+            let mut r = report.clone();
+            r.host = None;
+            serde_json::to_string(&r).unwrap()
+        }
+        Err(e) => format!("{e:?}"),
+    }
+}
+
+proptest! {
+    /// For any chaos schedule the run terminates with some outcome within
+    /// a hard wall-clock bound, and the serial and parallel engines agree
+    /// bit-for-bit on what that outcome is.
+    #[test]
+    fn any_chaos_schedule_terminates_identically_on_every_engine(
+        seed in 0u64..u64::MAX,
+        intervals in (0u64..150, 0u64..150, 0u64..200, 0u64..200),
+        durations in (1u64..48, 1u64..48, 1u64..96),
+        threads in 1usize..5,
+        workload_seed in 0u64..u64::MAX,
+    ) {
+        let chaos = ChaosConfig {
+            seed,
+            port_delay_interval: intervals.0,
+            port_delay_duration: durations.0,
+            drop_reinject_interval: intervals.1,
+            mshr_stall_interval: intervals.2,
+            mshr_stall_duration: durations.1,
+            dram_lockout_interval: intervals.3,
+            dram_lockout_duration: durations.2,
+            wedge_at: None,
+            worker_panic_at: None,
+        };
+        let cfg = small_gpu();
+        let program = tiny_kernel(workload_seed);
+        let (serial, parallel) = with_timeout(120, move || {
+            let serial = chaos_sim(&cfg, &program, chaos).run_stepped(CYCLE_CAP);
+            let parallel = chaos_sim(&cfg, &program, chaos).run_parallel(CYCLE_CAP, threads);
+            (canonical(&serial), canonical(&parallel))
+        });
+        prop_assert_eq!(
+            serial, parallel,
+            "chaos schedule diverged between engines"
+        );
+    }
+}
+
+#[test]
+fn chaos_off_is_bit_identical_to_no_chaos() {
+    // A disabled config must attach no engine at all: the run is
+    // bit-identical to one that never heard of chaos, on every engine.
+    let cfg = small_gpu();
+    let program = suite_kernel("sc");
+    let mut bare = GpuSimulator::new(cfg.clone(), Arc::clone(&program), MemoryMode::Hierarchy);
+    let reference = canonical(&bare.run_stepped(CYCLE_CAP));
+
+    let off = ChaosConfig::disabled(1234);
+    assert!(!off.any_fault_enabled());
+    let stepped = chaos_sim(&cfg, &program, off).run_stepped(CYCLE_CAP);
+    assert_eq!(canonical(&stepped), reference);
+    let skipping = chaos_sim(&cfg, &program, off).run(CYCLE_CAP);
+    assert_eq!(canonical(&skipping), reference);
+    for threads in [1, 2, 4] {
+        let par = chaos_sim(&cfg, &program, off).run_parallel(CYCLE_CAP, threads);
+        assert_eq!(canonical(&par), reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn same_seed_same_outcome_across_processes_of_the_same_run() {
+    // Two fresh simulators with the same chaos seed must reach the same
+    // bit-identical outcome; a different seed must actually perturb
+    // timing (same instructions, different cycle count).
+    let cfg = small_gpu();
+    let program = suite_kernel("cfd");
+    let a = chaos_sim(&cfg, &program, ChaosConfig::standard(7)).run_stepped(CYCLE_CAP);
+    let b = chaos_sim(&cfg, &program, ChaosConfig::standard(7)).run_stepped(CYCLE_CAP);
+    assert_eq!(canonical(&a), canonical(&b));
+    let c = chaos_sim(&cfg, &program, ChaosConfig::standard(8)).run_stepped(CYCLE_CAP);
+    let (a, c) = (a.unwrap(), c.unwrap());
+    assert_eq!(a.instructions, c.instructions, "chaos must never lose work");
+    assert_ne!(a.cycles, c.cycles, "different seeds must perturb timing");
+}
+
+#[test]
+fn wedge_is_diagnosed_within_horizon_by_every_engine() {
+    // The seeded wedge fixture permanently freezes the response network;
+    // every engine must report `SimError::Wedged` exactly one horizon
+    // after progress stops, with a diagnosis naming the blocked chain.
+    let cfg = small_gpu();
+    let program = suite_kernel("cfd");
+    let mut chaos = ChaosConfig::standard(5);
+    chaos.wedge_at = Some(400);
+
+    let (cfg2, program2) = (cfg.clone(), Arc::clone(&program));
+    let err = with_timeout(120, move || {
+        chaos_sim(&cfg2, &program2, chaos).run_stepped(CYCLE_CAP)
+    })
+    .expect_err("a wedged machine cannot complete");
+    let diagnosis = match &err {
+        SimError::Wedged { diagnosis } => diagnosis.clone(),
+        other => panic!("expected a wedge diagnosis, got {other}"),
+    };
+    assert_eq!(diagnosis.horizon, HORIZON);
+    assert_eq!(
+        diagnosis.cycle - diagnosis.last_progress_cycle,
+        HORIZON,
+        "watchdog must fire exactly at its horizon under per-cycle stepping"
+    );
+    assert!(
+        diagnosis
+            .blocked_chain
+            .iter()
+            .any(|c| c.contains("resp_xbar")),
+        "the chain must name the wedged response network: {:?}",
+        diagnosis.blocked_chain
+    );
+    assert!(!diagnosis.components.is_empty());
+    assert!(
+        diagnosis.oldest_fetch.is_some(),
+        "a wedge strands at least one in-flight fetch"
+    );
+
+    // The skipping and parallel engines must reach the very same error.
+    let skipping = chaos_sim(&cfg, &program, chaos)
+        .run(CYCLE_CAP)
+        .expect_err("wedged");
+    assert_eq!(skipping, err, "skipping engine diverged");
+    for threads in [1, 2, 4] {
+        let (cfg2, program2) = (cfg.clone(), Arc::clone(&program));
+        let par = with_timeout(120, move || {
+            chaos_sim(&cfg2, &program2, chaos).run_parallel(CYCLE_CAP, threads)
+        })
+        .expect_err("wedged");
+        assert_eq!(par, err, "parallel engine at {threads} threads diverged");
+    }
+}
+
+#[test]
+fn injected_worker_panic_degrades_to_the_sequential_engine() {
+    // The graceful-degradation fixture kills one worker mid-run; the
+    // parallel engine must absorb it, resume sequentially, record the
+    // downgrade, and still produce the exact reference report.
+    let cfg = small_gpu();
+    let program = suite_kernel("nw");
+    let mut reference = GpuSimulator::new(cfg.clone(), Arc::clone(&program), MemoryMode::Hierarchy);
+    let reference = reference.run_stepped(CYCLE_CAP).unwrap();
+    assert!(reference.degraded.is_none());
+
+    let mut chaos = ChaosConfig::disabled(11);
+    chaos.worker_panic_at = Some(300);
+    for threads in [2, 4] {
+        let (cfg2, program2) = (cfg.clone(), Arc::clone(&program));
+        let report = with_timeout(120, move || {
+            chaos_sim(&cfg2, &program2, chaos).run_parallel(CYCLE_CAP, threads)
+        })
+        .unwrap_or_else(|e| panic!("degraded run must still complete: {e}"));
+        let degraded = report
+            .degraded
+            .clone()
+            .expect("the downgrade must be recorded in the report");
+        assert!(degraded.at_cycle >= 300, "panic injected at cycle 300");
+        assert!(
+            degraded.reason.contains("sequential"),
+            "reason must say where the run went: {}",
+            degraded.reason
+        );
+        // Identical to the reference in every field except the host block
+        // and the degradation record itself.
+        let mut a = reference.clone();
+        let mut b = report;
+        a.host = None;
+        a.degraded = None;
+        b.host = None;
+        b.degraded = None;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "degraded run diverged from the reference at {threads} threads"
+        );
+    }
+
+    // The serial engines ignore the fixture entirely.
+    let serial = chaos_sim(&cfg, &program, chaos)
+        .run_stepped(CYCLE_CAP)
+        .unwrap();
+    assert!(serial.degraded.is_none());
+}
+
+#[test]
+fn zero_deadline_returns_a_typed_error() {
+    let cfg = small_gpu();
+    let program = suite_kernel("nn");
+    let mut sim = GpuSimulator::new(cfg.clone(), Arc::clone(&program), MemoryMode::Hierarchy);
+    sim.set_deadline_seconds(Some(0.0));
+    match sim.run_stepped(CYCLE_CAP) {
+        Err(SimError::DeadlineExceeded { budget_seconds, .. }) => {
+            assert_eq!(budget_seconds, 0.0);
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    // The parallel engine honours the same budget.
+    let mut sim = GpuSimulator::new(cfg, program, MemoryMode::Hierarchy);
+    sim.set_deadline_seconds(Some(0.0));
+    match sim.run_parallel(CYCLE_CAP, 2) {
+        Err(SimError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+}

@@ -135,8 +135,10 @@ fn watchdog_fires_identically_under_skipping() {
         let a = a.expect_err("budget too small to finish");
         let b = b.expect_err("budget too small to finish");
         assert_eq!(a, b, "{mode}: watchdog divergence");
-        let SimError::Watchdog { cycle, .. } = a;
-        assert_eq!(cycle, budget);
+        match a {
+            SimError::Watchdog { cycle, .. } => assert_eq!(cycle, budget),
+            other => panic!("expected a budget watchdog error, got {other}"),
+        }
         // The parallel engine restores the machine before diagnosing, so
         // its watchdog error must be identical too.
         let c = GpuSimulator::new(cfg.clone(), program, mode).run_parallel(budget, 4);

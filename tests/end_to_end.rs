@@ -134,5 +134,6 @@ fn watchdog_reports_progress() {
             assert!(cycle >= 10);
             assert!(detail.contains("CTAs dispatched"));
         }
+        other => panic!("expected a budget watchdog error, got {other}"),
     }
 }

@@ -77,14 +77,14 @@ fn assert_interleaving_invisible(p: &WorkloadParams, mode: MemoryMode, coin_seed
 
     let mut reference = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
     while !reference.is_done() {
-        reference.step();
+        reference.step().expect("reference step never faults");
         assert!(reference.now().raw() < CYCLE_CAP, "reference run wedged");
     }
 
     let mut coin = Coin(coin_seed | 1);
     let mut sim = GpuSimulator::new(cfg, program, mode);
     while !sim.is_done() {
-        sim.step();
+        sim.step().expect("step never faults");
         let now = sim.now();
         if let Some(ev) = sim.next_event() {
             prop_assert!(
@@ -190,7 +190,7 @@ fn next_event_is_never_in_the_past() {
     let mut sim = GpuSimulator::new(cfg, program, MemoryMode::FixedLatency(400));
     let mut horizons_in_future = 0u32;
     while !sim.is_done() {
-        sim.step();
+        sim.step().expect("step never faults");
         let now = sim.now();
         match sim.next_event() {
             Some(ev) => {
