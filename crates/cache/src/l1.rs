@@ -352,6 +352,11 @@ impl L1Dcache {
         self.mshr.len()
     }
 
+    /// Current miss-queue depth (for the trace layer's occupancy probes).
+    pub fn miss_queue_len(&self) -> usize {
+        self.miss_queue.len()
+    }
+
     /// Tag-array hit/miss counters (demand accesses only).
     pub fn tag_stats(&self) -> (u64, u64) {
         (self.tags.hits(), self.tags.misses())

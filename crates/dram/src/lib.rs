@@ -43,7 +43,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gpumem_config::{DramConfig, GpuConfig};
-use gpumem_types::{AccessKind, Cycle, LatencyStats, MemFetch, QueueStats, SimError, SimQueue};
+use gpumem_types::{
+    AccessKind, Cycle, LatencyStats, Log2Histogram, MemFetch, QueueStats, SimError, SimQueue,
+};
 
 /// Activity counters for one [`DramChannel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -82,6 +84,19 @@ impl DramStats {
             self.row_hits as f64 / total as f64
         }
     }
+}
+
+/// Write-path lifecycle histograms, collected only when tracing is enabled.
+///
+/// Stores and L2 writebacks terminate at DRAM and never travel back to a
+/// core, so their queue-wait and service stages are recorded here, at the
+/// point the write lands, instead of at the core's response path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteTrace {
+    /// `dram_arrive → dram_issue`: scheduler-queue wait.
+    pub queue: Log2Histogram,
+    /// `dram_issue → dram_data`: row activate + burst transfer.
+    pub service: Log2Histogram,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +166,9 @@ pub struct DramChannel {
     stats: DramStats,
     service_latency: LatencyStats,
     in_flight: usize,
+    /// Write-path stage histograms; `None` (and zero-cost) unless tracing
+    /// was enabled on the owning simulator.
+    trace: Option<Box<WriteTrace>>,
 }
 
 impl DramChannel {
@@ -199,8 +217,26 @@ impl DramChannel {
             stats: DramStats::default(),
             service_latency: LatencyStats::new(),
             in_flight: 0,
+            trace: None,
             cfg,
         }
+    }
+
+    /// Turns on write-path tracing. Idempotent; enable before running.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::default());
+        }
+    }
+
+    /// The write-path histograms, if tracing was enabled.
+    pub fn trace(&self) -> Option<&WriteTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Current depth of the read scheduler queue (for occupancy probes).
+    pub fn read_queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Cycles one line transfer occupies the data bus.
@@ -272,11 +308,23 @@ impl DramChannel {
             if !landable {
                 break;
             }
-            let Some(c) = self.completions.pop() else {
+            let Some(mut c) = self.completions.pop() else {
                 break;
             };
             if let Some(arr) = c.fetch.timeline.dram_arrive {
                 self.service_latency.record(now.since(arr));
+            }
+            // The burst finished at `done_at`; landing may lag it when a
+            // blocked read at the heap's head stalls the loop.
+            c.fetch.timeline.dram_data = Some(c.done_at);
+            if let Some(trace) = self.trace.as_deref_mut() {
+                if !c.fetch.kind.is_load() {
+                    let t = &c.fetch.timeline;
+                    if let (Some(arr), Some(issue)) = (t.dram_arrive, t.dram_issue) {
+                        trace.queue.record(issue.since(arr));
+                        trace.service.record(c.done_at.since(issue));
+                    }
+                }
             }
             if c.fetch.kind.is_load() {
                 if self.return_queue.push(c.fetch).is_err() {
@@ -351,9 +399,10 @@ impl DramChannel {
         let chosen = queue
             .remove_first_where(|p| pick_row_hit(p, &banks_snapshot, stride, lpr))
             .or_else(|| queue.remove_first_where(|p| pick_ready(p, &banks_snapshot, stride, lpr)));
-        let Some(pending) = chosen else {
+        let Some(mut pending) = chosen else {
             return false;
         };
+        pending.fetch.timeline.dram_issue = Some(now);
 
         let (bank_idx, row) = self.map_address(pending.fetch.line);
         let t = &self.cfg;

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use gpumem_config::GpuConfig;
 use gpumem_noc::{Crossbar, Packet};
 use gpumem_simt::{KernelProgram, SimtCore};
+use gpumem_trace::TraceConfig;
 use gpumem_types::{
     host_wall_clock, ComponentOccupancy, CtaId, Cycle, Degradation, OldestFetch, PartitionId,
     SimError, WedgeDiagnosis,
@@ -102,6 +103,8 @@ pub struct GpuSimulator {
     /// Set when the parallel engine caught a worker fault and finished the
     /// run on the sequential engine.
     pub(crate) degraded: Option<Degradation>,
+    /// Set once [`enable_trace`](GpuSimulator::enable_trace) is called.
+    pub(crate) trace_cfg: Option<TraceConfig>,
 }
 
 impl fmt::Debug for GpuSimulator {
@@ -167,7 +170,34 @@ impl GpuSimulator {
             chaos: None,
             deadline_seconds: None,
             degraded: None,
+            trace_cfg: None,
         }
+    }
+
+    /// Turns on fetch-lifecycle tracing across every core and partition:
+    /// per-stage latency histograms, queue-occupancy sampling and
+    /// slowest-fetch capture, surfaced as
+    /// [`SimReport::latency_breakdown`]. Enable before running; a
+    /// simulator that never calls this takes one never-taken branch per
+    /// hook and produces a bit-identical report with the breakdown absent.
+    ///
+    /// Tracing is engine-invariant: `run`, `run_stepped` and
+    /// `run_parallel` produce bit-identical breakdowns.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = Some(cfg);
+        for core in &mut self.cores {
+            core.enable_trace(&cfg);
+        }
+        if let Backend::Hierarchy { partitions, .. } = &mut self.backend {
+            for p in partitions.iter_mut() {
+                p.enable_trace(&cfg);
+            }
+        }
+    }
+
+    /// The active trace configuration, if tracing was enabled.
+    pub fn trace_config(&self) -> Option<&TraceConfig> {
+        self.trace_cfg.as_ref()
     }
 
     /// The configuration in use.

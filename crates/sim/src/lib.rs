@@ -64,9 +64,17 @@ mod watchdog;
 pub use chaos::ChaosConfig;
 pub use fixed::FixedLatencyMemory;
 pub use gpu::{GpuSimulator, MemoryMode, SkipPolicy};
-pub use partition::{L2Stats, MemoryPartition};
+pub use partition::{L2Stats, MemoryPartition, PartitionTrace};
 pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
 pub use watchdog::{ProgressFingerprint, Watchdog};
+
+// The observability layer's public surface, re-exported so downstream code
+// (the repro harness, the golden-trace tests) needs no direct dependency
+// on `gpumem-trace`.
+pub use gpumem_trace::{
+    chrome_trace_events, stage_spans, ChromeEvent, LatencyBreakdown, OccupancyPoint,
+    OccupancySeries, SlowFetch, Stage, StageClass, StageSpan, StageStat, TraceConfig,
+};
 
 // The error taxonomy lives in `gpumem-types` (model crates construct the
 // variants directly); re-exported here so `gpumem_sim::SimError` keeps

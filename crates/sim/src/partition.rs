@@ -8,6 +8,7 @@ use gpumem_cache::{MshrTable, ReplacementOutcome, TagArray};
 use gpumem_config::GpuConfig;
 use gpumem_dram::DramChannel;
 use gpumem_noc::{EgressPort, IngressPort, Packet};
+use gpumem_trace::{OccupancyProbe, TraceConfig};
 use gpumem_types::{
     AccessKind, Cycle, FetchArena, FetchId, LineAddr, MemFetch, PartitionId, QueueStats, SimError,
     SimQueue, SlotId,
@@ -84,6 +85,18 @@ enum L2Waiter {
     Merged(SlotId),
 }
 
+/// Trace state owned by one partition: occupancy probes for its two
+/// headline queues (the write-path latency histograms live in the embedded
+/// [`DramChannel`]). Lives behind an `Option<Box<_>>` so an untraced run
+/// pays one never-taken branch per hook.
+#[derive(Debug, Clone)]
+pub struct PartitionTrace {
+    /// L2 access-queue depth series (the paper's 46% queue).
+    pub l2_access: OccupancyProbe,
+    /// DRAM read-scheduler queue depth series (the paper's 39% queue).
+    pub dram_sched: OccupancyProbe,
+}
+
 #[derive(Debug)]
 struct BankCompletion {
     done_at: Cycle,
@@ -153,6 +166,7 @@ pub struct MemoryPartition {
     /// Fault injection: no request is forwarded to the DRAM channel before
     /// this cycle. `Cycle::ZERO` = inert.
     chaos_dram_until: Cycle,
+    trace: Option<Box<PartitionTrace>>,
 }
 
 impl std::fmt::Debug for MemoryPartition {
@@ -207,7 +221,25 @@ impl MemoryPartition {
             stats: L2Stats::default(),
             chaos_mshr_until: Cycle::ZERO,
             chaos_dram_until: Cycle::ZERO,
+            trace: None,
         }
+    }
+
+    /// Turns on fetch-lifecycle tracing for this partition and its DRAM
+    /// channel. Idempotent; enable before running.
+    pub fn enable_trace(&mut self, cfg: &TraceConfig) {
+        self.dram.enable_trace();
+        if self.trace.is_none() {
+            self.trace = Some(Box::new(PartitionTrace {
+                l2_access: OccupancyProbe::new(cfg),
+                dram_sched: OccupancyProbe::new(cfg),
+            }));
+        }
+    }
+
+    /// The partition's trace state, if tracing was enabled.
+    pub fn trace(&self) -> Option<&PartitionTrace> {
+        self.trace.as_deref()
     }
 
     /// This partition's id.
@@ -242,6 +274,13 @@ impl MemoryPartition {
         req_ej: &mut EgressPort,
         resp_in: &mut IngressPort,
     ) -> Result<(), SimError> {
+        // Occupancy sampling happens at pre-step state on a pure-function-
+        // of-cycle cadence, so every engine (and the fast-forward backfill)
+        // observes identical depths.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.l2_access.sample(now, self.access_queue.len() as u64);
+            tr.dram_sched.sample(now, self.dram.read_queue_len() as u64);
+        }
         self.intake(now, req_ej)?;
         self.dram.tick(now)?;
         self.drain_dram_returns(now)?;
@@ -345,6 +384,8 @@ impl MemoryPartition {
         // primary first, then merges in arrival order — matches the old
         // clone-based path exactly.
         let dram_arrive = fill.timeline.dram_arrive;
+        let dram_issue = fill.timeline.dram_issue;
+        let dram_data = fill.timeline.dram_data;
         let mut primary = Some(fill);
         for w in self.mshr.complete(line) {
             match w {
@@ -376,7 +417,20 @@ impl MemoryPartition {
                     let mut f = self.arena.take(slot);
                     match f.kind {
                         AccessKind::Load => {
-                            f.timeline.dram_arrive = dram_arrive;
+                            // The primary carried the line through DRAM; its
+                            // stamps apply to this waiter only if it merged
+                            // before the line reached the channel. A later
+                            // merger keeps its whole wait in the L2 stages,
+                            // so every timeline stays monotone.
+                            let merged_before_dram = match (dram_arrive, f.timeline.l2_serve) {
+                                (Some(arr), Some(serve)) => serve <= arr,
+                                _ => false,
+                            };
+                            if merged_before_dram {
+                                f.timeline.dram_arrive = dram_arrive;
+                                f.timeline.dram_issue = dram_issue;
+                                f.timeline.dram_data = dram_data;
+                            }
                             if self.to_icnt.push(f).is_err() {
                                 return Err(self.overflow("l2_to_icnt", now));
                             }
@@ -450,9 +504,10 @@ impl MemoryPartition {
 
         let resident = self.tags[bank].access(set, line, now);
         if resident {
-            let Some(fetch) = self.access_queue.pop() else {
+            let Some(mut fetch) = self.access_queue.pop() else {
                 return Ok(());
             };
+            fetch.timeline.l2_serve = Some(now);
             match kind {
                 AccessKind::Load => {
                     self.stats.load_hits += 1;
@@ -486,9 +541,10 @@ impl MemoryPartition {
                 self.stats.stall_mshr += 1;
                 return Ok(());
             }
-            let Some(fetch) = self.access_queue.pop() else {
+            let Some(mut fetch) = self.access_queue.pop() else {
                 return Ok(());
             };
+            fetch.timeline.l2_serve = Some(now);
             let slot = self.arena.insert(fetch);
             if self.mshr.allocate(line, L2Waiter::Merged(slot)).is_err() {
                 return Err(SimError::MshrLeak {
@@ -508,6 +564,7 @@ impl MemoryPartition {
         let Some(mut dram_req) = self.access_queue.pop() else {
             return Ok(());
         };
+        dram_req.timeline.l2_serve = Some(now);
         // The downstream request always *reads* the line (write-allocate:
         // a store miss fetches the line, then the waiter dirties it). The
         // allocating request itself becomes the DRAM fetch — only its
@@ -600,9 +657,10 @@ impl MemoryPartition {
                 ),
             });
         };
-        let Some(fetch) = self.to_icnt.pop() else {
+        let Some(mut fetch) = self.to_icnt.pop() else {
             return Ok(());
         };
+        fetch.timeline.resp_inject = Some(now);
         let dest = fetch.core.index();
         let packet = Packet::new(fetch, dest, bytes, self.flit_bytes);
         if resp_in.try_inject(packet).is_err() {
@@ -710,6 +768,14 @@ impl MemoryPartition {
         self.response_queue.observe_many(cycles);
         self.to_icnt.observe_many(cycles);
         self.dram.observe_many(cycles);
+        // Queue depths are provably frozen over the skipped window, so the
+        // probes backfill the cadence points with the current depths.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            let access_depth = self.access_queue.len() as u64;
+            let dram_depth = self.dram.read_queue_len() as u64;
+            tr.l2_access.backfill(now, cycles, access_depth);
+            tr.dram_sched.backfill(now, cycles, dram_depth);
+        }
     }
 
     /// True when no request is anywhere inside the partition or its DRAM.

@@ -4,6 +4,7 @@ use gpumem_cache::L1Stats;
 use gpumem_dram::DramStats;
 use gpumem_noc::{Crossbar, CrossbarStats};
 use gpumem_simt::{CoreStats, SimtCore};
+use gpumem_trace::{LatencyBreakdown, OccupancySeries, Stage, TraceCollector};
 use gpumem_types::{Cycle, LatencyStats, QueueStats};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,9 @@ pub struct SimReport {
     /// simulation on the sequential engine. The simulated results are still
     /// exact; this records that the run took the slow path and why.
     pub degraded: Option<gpumem_types::Degradation>,
+    /// Per-stage fetch-lifecycle latency breakdown (present only when
+    /// [`enable_trace`](crate::GpuSimulator::enable_trace) was called).
+    pub latency_breakdown: Option<LatencyBreakdown>,
 }
 
 impl SimReport {
@@ -227,7 +231,50 @@ pub(crate) fn build_report(
         noc,
         host: None,
         degraded: None,
+        latency_breakdown: build_breakdown(cores, partitions),
     }
+}
+
+/// Merges every core's trace collector (in core index order), folds in the
+/// DRAM write-path histograms and collects the occupancy series (cores
+/// first, then partitions, each in index order). Index order is engine-
+/// invariant — the parallel engine reassembles its shards back into global
+/// order before reporting — so the breakdown is bit-identical across
+/// engines. Returns `None` when tracing was never enabled.
+fn build_breakdown(cores: &[SimtCore], partitions: &[MemoryPartition]) -> Option<LatencyBreakdown> {
+    let mut merged: Option<TraceCollector> = None;
+    for c in cores {
+        if let Some(tr) = c.trace() {
+            match &mut merged {
+                Some(m) => m.merge(&tr.collector),
+                None => merged = Some(tr.collector.clone()),
+            }
+        }
+    }
+    let mut collector = merged?;
+    for p in partitions {
+        if let Some(wt) = p.dram().trace() {
+            collector.absorb_stage(Stage::WbQueue, &wt.queue);
+            collector.absorb_stage(Stage::WbService, &wt.service);
+        }
+    }
+    let mut occupancy: Vec<OccupancySeries> = Vec::new();
+    for (i, c) in cores.iter().enumerate() {
+        if let Some(tr) = c.trace() {
+            occupancy.push(tr.lsu.to_series(format!("core{i}"), "lsu_queue"));
+            occupancy.push(tr.l1_miss.to_series(format!("core{i}"), "l1_miss_queue"));
+        }
+    }
+    for (i, p) in partitions.iter().enumerate() {
+        if let Some(tr) = p.trace() {
+            occupancy.push(tr.l2_access.to_series(format!("partition{i}"), "l2_access"));
+            occupancy.push(
+                tr.dram_sched
+                    .to_series(format!("partition{i}"), "dram_read_sched"),
+            );
+        }
+    }
+    Some(collector.breakdown(occupancy))
 }
 
 #[cfg(test)]
@@ -249,6 +296,7 @@ mod tests {
             noc: None,
             host: None,
             degraded: None,
+            latency_breakdown: None,
         };
         assert_eq!(r.avg_l1_miss_latency(), 0.0);
         assert_eq!(r.l2_access_queue_full_fraction(), None);
@@ -278,6 +326,7 @@ mod tests {
                 threads: 1,
             }),
             degraded: None,
+            latency_breakdown: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: SimReport = serde_json::from_str(&json).unwrap();
@@ -285,5 +334,94 @@ mod tests {
         assert_eq!(back.cycles, 10);
         assert!(back.l2.is_some());
         assert_eq!(back.host.as_ref().map(|h| h.skipped_cycles), Some(4));
+        assert!(back.latency_breakdown.is_none());
+    }
+
+    fn traced_fetch(id: u64, issued: u64, returned: u64) -> gpumem_types::MemFetch {
+        use gpumem_types::{AccessKind, CoreId, FetchId, LineAddr, MemFetch};
+        let mut f = MemFetch::new(
+            FetchId::new(id),
+            AccessKind::Load,
+            LineAddr::new(id),
+            CoreId::new(0),
+        );
+        f.timeline.issued = Some(Cycle::new(issued));
+        f.timeline.returned = Some(Cycle::new(returned));
+        f
+    }
+
+    #[test]
+    fn report_with_breakdown_roundtrips() {
+        use gpumem_trace::TraceConfig;
+        let mut collector = TraceCollector::new(TraceConfig::default());
+        collector.record_fetch(&traced_fetch(1, 0, 40));
+        collector.record_fetch(&traced_fetch(2, 5, 105));
+        let breakdown = collector.breakdown(Vec::new());
+        assert!(breakdown.reconciles());
+        let mut r = SimReport {
+            benchmark: "x".into(),
+            mode: "hierarchy".into(),
+            cycles: 200,
+            instructions: 10,
+            ipc: 0.05,
+            core: CoreStats::default(),
+            l1: L1Report::default(),
+            l2: None,
+            dram: None,
+            noc: None,
+            host: None,
+            degraded: None,
+            latency_breakdown: Some(breakdown),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        let bd = back.latency_breakdown.expect("breakdown survives");
+        assert_eq!(bd.fetches_traced, 2);
+        assert_eq!(bd.end_to_end_total_cycles, 40 + 100);
+        assert_eq!(bd.stage_total_cycles, bd.end_to_end_total_cycles);
+        // Stripping the field entirely (a pre-trace report) must still
+        // deserialize, with the breakdown absent.
+        r.latency_breakdown = None;
+        let old_json = serde_json::to_string(&r)
+            .unwrap()
+            .replace(",\"latency_breakdown\":null", "");
+        let old: SimReport = serde_json::from_str(&old_json).unwrap();
+        assert!(old.latency_breakdown.is_none());
+    }
+
+    #[test]
+    fn breakdown_merge_matches_single_collector() {
+        use gpumem_trace::TraceConfig;
+        // Two collectors fed disjoint fetches must merge into exactly the
+        // collector that saw both — the property build_breakdown relies on
+        // when folding per-core collectors in index order.
+        let cfg = TraceConfig::default();
+        let (mut a, mut b, mut whole) = (
+            TraceCollector::new(cfg),
+            TraceCollector::new(cfg),
+            TraceCollector::new(cfg),
+        );
+        for (id, issued, returned) in [(1, 0, 64), (2, 8, 24), (3, 2, 1000)] {
+            let f = traced_fetch(id, issued, returned);
+            if id % 2 == 1 {
+                a.record_fetch(&f)
+            } else {
+                b.record_fetch(&f)
+            }
+            whole.record_fetch(&f);
+        }
+        a.merge(&b);
+        let (merged, direct) = (a.breakdown(Vec::new()), whole.breakdown(Vec::new()));
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+        // Merging an empty collector is the identity.
+        let empty = TraceCollector::new(cfg);
+        whole.merge(&empty);
+        assert_eq!(
+            serde_json::to_string(&whole.breakdown(Vec::new())).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use gpumem_cache::{L1AccessOutcome, L1Dcache, L1Stats};
 use gpumem_config::GpuConfig;
+use gpumem_trace::{OccupancyProbe, TraceCollector, TraceConfig};
 use gpumem_types::{
     AccessKind, CoreId, CtaId, Cycle, FetchId, LatencyStats, MemFetch, QueueStats, SimQueue,
 };
@@ -104,6 +105,20 @@ struct IssueReg {
     accesses: VecDeque<MemFetch>,
 }
 
+/// Trace state owned by one core: the stage-histogram collector fed at the
+/// two completion points (response acceptance and ready-hit pop) plus the
+/// core's queue-occupancy probes. Lives behind an `Option<Box<_>>` so an
+/// untraced run pays one never-taken branch per hook.
+#[derive(Debug, Clone)]
+pub struct CoreTrace {
+    /// Per-stage latency histograms and slowest-fetch capture.
+    pub collector: TraceCollector,
+    /// LSU pipeline depth series.
+    pub lsu: OccupancyProbe,
+    /// L1 miss-queue depth series.
+    pub l1_miss: OccupancyProbe,
+}
+
 /// One streaming multiprocessor.
 ///
 /// Driven by the full-system simulator (or a test harness) with, per cycle:
@@ -132,6 +147,7 @@ pub struct SimtCore {
     age_counter: u64,
     stats: CoreStats,
     miss_latency: LatencyStats,
+    trace: Option<Box<CoreTrace>>,
 }
 
 impl std::fmt::Debug for SimtCore {
@@ -164,8 +180,25 @@ impl SimtCore {
             age_counter: 0,
             stats: CoreStats::default(),
             miss_latency: LatencyStats::new(),
+            trace: None,
             program,
         }
+    }
+
+    /// Turns on fetch-lifecycle tracing. Idempotent; enable before running.
+    pub fn enable_trace(&mut self, cfg: &TraceConfig) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::new(CoreTrace {
+                collector: TraceCollector::new(*cfg),
+                lsu: OccupancyProbe::new(cfg),
+                l1_miss: OccupancyProbe::new(cfg),
+            }));
+        }
+    }
+
+    /// The core's trace state, if tracing was enabled.
+    pub fn trace(&self) -> Option<&CoreTrace> {
+        self.trace.as_deref()
     }
 
     /// This core's id.
@@ -264,6 +297,9 @@ impl SimtCore {
             if let Some(lat) = done.timeline.l1_miss_latency() {
                 self.miss_latency.record(lat);
             }
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.collector.record_fetch(&done);
+            }
             self.complete_warp_access(&done);
         }
     }
@@ -312,8 +348,19 @@ impl SimtCore {
     pub fn cycle(&mut self, now: Cycle) {
         self.stats.cycles += 1;
 
+        // Occupancy sampling happens at pre-step state on a pure-function-
+        // of-cycle cadence, so every engine (and the fast-forward backfill)
+        // observes identical depths.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.lsu.sample(now, self.lsu_queue.len() as u64);
+            tr.l1_miss.sample(now, self.l1.miss_queue_len() as u64);
+        }
+
         // 1. Wake loads whose L1 hit latency elapsed.
         for done in self.l1.pop_ready_hits(now) {
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.collector.record_fetch(&done);
+            }
             self.complete_warp_access(&done);
         }
 
@@ -621,6 +668,14 @@ impl SimtCore {
         self.classify_stall_many(now, cycles);
         self.l1.observe_many(cycles);
         self.lsu_queue.observe_many(cycles);
+        // Queue depths are provably frozen over the skipped window, so the
+        // probes backfill the cadence points with the current depths.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            let lsu_depth = self.lsu_queue.len() as u64;
+            let miss_depth = self.l1.miss_queue_len() as u64;
+            tr.lsu.backfill(now, cycles, lsu_depth);
+            tr.l1_miss.backfill(now, cycles, miss_depth);
+        }
     }
 
     /// Per-cycle statistics bookkeeping.

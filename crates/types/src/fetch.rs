@@ -80,8 +80,16 @@ pub struct FetchTimeline {
     pub icnt_inject: Option<Cycle>,
     /// The request reached the L2 partition's access queue.
     pub l2_arrive: Option<Cycle>,
+    /// The L2 popped the request out of its access queue and looked it up.
+    pub l2_serve: Option<Cycle>,
     /// The request missed in L2 and entered the DRAM path.
     pub dram_arrive: Option<Cycle>,
+    /// The DRAM scheduler selected the request for service (FR-FCFS pop).
+    pub dram_issue: Option<Cycle>,
+    /// The DRAM burst completed and the data left the channel.
+    pub dram_data: Option<Cycle>,
+    /// The response packet was injected into the response interconnect.
+    pub resp_inject: Option<Cycle>,
     /// The response was delivered back to the L1 / core.
     pub returned: Option<Cycle>,
 }

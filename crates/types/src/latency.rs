@@ -30,7 +30,9 @@ impl LatencyStats {
         Self::default()
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. The count and sum saturate instead of
+    /// wrapping, so a pathological population can never panic or corrupt the
+    /// extremes.
     pub fn record(&mut self, latency: u64) {
         if self.count == 0 {
             self.min = latency;
@@ -39,8 +41,8 @@ impl LatencyStats {
             self.min = self.min.min(latency);
             self.max = self.max.max(latency);
         }
-        self.count += 1;
-        self.sum += latency;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(latency);
     }
 
     /// Number of samples.
@@ -81,8 +83,8 @@ impl LatencyStats {
             *self = *other;
             return;
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -124,6 +126,47 @@ mod tests {
         let empty = LatencyStats::new();
         a.merge(&empty);
         assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = LatencyStats::new();
+        let b = LatencyStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_merge_is_exact() {
+        let mut a = LatencyStats::new();
+        a.record(42);
+        let mut b = LatencyStats::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 84);
+        assert_eq!(a.min(), Some(42));
+        assert_eq!(a.max(), Some(42));
+        assert_eq!(a.mean(), 42.0);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_wrapping() {
+        let mut s = LatencyStats::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), u64::MAX, "sum saturates at u64::MAX");
+        assert_eq!(s.max(), Some(u64::MAX));
+        let mut other = LatencyStats::new();
+        other.record(u64::MAX);
+        s.merge(&other);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), u64::MAX, "merge saturates too");
+        assert_eq!(s.min(), Some(u64::MAX));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use addr::{Addr, LineAddr};
 pub use cycle::Cycle;
 pub use error::{ComponentOccupancy, Degradation, OldestFetch, SimError, WedgeDiagnosis};
 pub use fetch::{AccessKind, FetchId, FetchTimeline, MemFetch};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Log2Histogram};
 pub use host::{host_wall_clock, HostStopwatch};
 pub use ids::{CoreId, CtaId, PartitionId, WarpId};
 pub use latency::LatencyStats;

@@ -32,6 +32,40 @@ fn workspace_is_simlint_clean() {
 }
 
 #[test]
+fn trace_crate_is_scanned_and_clean() {
+    // The observability layer feeds numbers straight into golden snapshots,
+    // so it must satisfy the same determinism discipline as the model
+    // crates. Lint exactly its sources (rather than relying on the
+    // workspace sweep's coverage) so a future restructuring that moved the
+    // crate out of `crates/` would fail loudly here.
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/trace/src");
+    let mut scanned = 0usize;
+    for entry in std::fs::read_dir(&src_dir).expect("crates/trace/src exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        scanned += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let diags = gpumem_lint::lint_source(&path.display().to_string(), &src, false);
+        assert!(
+            diags.is_empty(),
+            "trace crate has lint violations:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    assert!(
+        scanned >= 1,
+        "no trace sources found under {}",
+        src_dir.display()
+    );
+}
+
+#[test]
 fn seeded_violation_is_detected() {
     // Self-test: the pass must actually be able to fail. Lint a known-bad
     // snippet through the same engine the workspace check uses.
