@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE]
-//!       [--min-ratio R] [--seeds N] [--wedge-self-test]
+//!       [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N]
+//!       [--wedge-self-test]
 //!       [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]
 //! ```
 //!
@@ -13,9 +14,12 @@
 //! * `table1`     — prints Table I itself (configuration values)
 //! * `latency`    — Section II baseline-vs-ideal latency comparison
 //! * `ablation`   — Section V future work: per-row ablation + cost ranking
-//! * `perf`       — host throughput: per-cycle stepping vs event-horizon
-//!   skipping vs sharded parallel stepping (cycles/sec, skipped fraction,
-//!   per-thread-count speedups)
+//! * `perf`       — host throughput: the per-cycle stepped oracle vs the
+//!   event-driven engine behind `run()` vs sharded parallel stepping
+//!   (cycles/sec, skipped fraction, per-thread-count speedups). With
+//!   `--profile` instead runs the event-driven engine with host-time
+//!   instrumentation and prints per-component attribution (scheduler,
+//!   cores, L1, crossbars, partitions, DRAM).
 //! * `chaos`      — deterministic fault-injection sweep: each seed expands
 //!   into a bit-identical fault schedule (crossbar port holds and
 //!   head-of-queue rotations, MSHR stalls, DRAM lockouts); every seed is
@@ -48,6 +52,16 @@
 //! overhead gate uses 0.98). Speedups — not absolute cycles/sec — are
 //! compared, so a baseline recorded on one host remains meaningful on
 //! another.
+//! `--floor R` (perf only) is an absolute per-benchmark gate on the
+//! event-driven engine: exits non-zero if any single benchmark's
+//! event-vs-stepped speedup falls below R. CI runs `--floor 1.0` — the
+//! event engine must never be slower than the oracle it replaces, on any
+//! workload, not just in geomean.
+//! `--repeat N` (perf only) runs each engine N times per benchmark and
+//! keeps the fastest wall. Single-shot timings on a busy or single-CPU
+//! host swing by tens of percent; CI gates use `--repeat 3`.
+//! `--profile` (perf only) switches the command to per-component
+//! host-time attribution instead of the engine comparison sweep.
 
 use std::sync::Arc;
 
@@ -66,7 +80,10 @@ struct Args {
     threads: Vec<usize>,
     check: Option<String>,
     min_ratio: f64,
+    floor: Option<f64>,
+    profile: bool,
     seeds: u64,
+    repeat: usize,
     wedge_self_test: bool,
     command: String,
 }
@@ -77,7 +94,10 @@ fn parse_args() -> Args {
     let mut threads = vec![1, 2, 4];
     let mut check = None;
     let mut min_ratio = 0.8;
+    let mut floor = None;
+    let mut profile = false;
     let mut seeds = 4;
+    let mut repeat = 1;
     let mut wedge_self_test = false;
     let mut command = "all".to_owned();
     // simlint::allow(no-env, reason = "host CLI argument parsing")
@@ -122,12 +142,28 @@ fn parse_args() -> Args {
                     .filter(|&r: &f64| r > 0.0 && r <= 1.0)
                     .unwrap_or_else(|| die("--min-ratio needs a number in (0, 1]"));
             }
+            "--floor" => {
+                floor = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&r: &f64| r > 0.0)
+                        .unwrap_or_else(|| die("--floor needs a positive number")),
+                );
+            }
+            "--profile" => profile = true,
             "--seeds" => {
                 seeds = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| die("--seeds needs a positive count"));
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--repeat needs a positive count"));
             }
             "--wedge-self-test" => wedge_self_test = true,
             "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf"
@@ -143,7 +179,10 @@ fn parse_args() -> Args {
         threads,
         check,
         min_ratio,
+        floor,
+        profile,
         seeds,
+        repeat,
         wedge_self_test,
         command,
     }
@@ -153,7 +192,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE] \
-         [--min-ratio R] [--seeds N] [--wedge-self-test] \
+         [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N] [--wedge-self-test] \
          [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]"
     );
     std::process::exit(2)
@@ -262,18 +301,41 @@ struct PerfSummary {
     rows: Vec<PerfRow>,
 }
 
+/// Runs `run` `n` times and keeps the fastest-wall report. Engine timing
+/// on a busy or single-CPU host is noisy; the minimum wall is the
+/// standard low-noise estimator (interference only ever adds time).
+fn best_of(n: usize, mut run: impl FnMut() -> SimReport) -> SimReport {
+    let mut best = run();
+    for _ in 1..n {
+        let r = run();
+        let faster = match (r.host.as_ref(), best.host.as_ref()) {
+            (Some(a), Some(b)) => a.wall_seconds < b.wall_seconds,
+            _ => false,
+        };
+        if faster {
+            best = r;
+        }
+    }
+    best
+}
+
 fn perf_row(
     cfg: &GpuConfig,
     program: &Arc<dyn KernelProgram>,
     mode: MemoryMode,
     threads: &[usize],
+    repeat: usize,
 ) -> PerfRow {
-    let stepped = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
-        .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
-        .expect("stepped run completes");
-    let skipping = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
-        .run(gpumem::DEFAULT_MAX_CYCLES)
-        .expect("skipping run completes");
+    let stepped = best_of(repeat, || {
+        GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+            .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
+            .expect("stepped run completes")
+    });
+    let skipping = best_of(repeat, || {
+        GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+            .run(gpumem::DEFAULT_MAX_CYCLES)
+            .expect("skipping run completes")
+    });
     let hs = stepped.host.as_ref().expect("run fills host perf");
     let hk = skipping.host.as_ref().expect("run fills host perf");
     assert_eq!(
@@ -326,12 +388,18 @@ fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
     (n > 0).then(|| (sum / n as f64).exp())
 }
 
-fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usize]) -> PerfSummary {
+fn run_perf(
+    cfg: &GpuConfig,
+    scale: f64,
+    json: &Option<String>,
+    threads: &[usize],
+    repeat: usize,
+) -> PerfSummary {
     let mut rows = Vec::new();
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
         for program in suite(scale) {
             eprintln!("perf: {} / {mode} ...", program.name());
-            rows.push(perf_row(cfg, &program, mode, threads));
+            rows.push(perf_row(cfg, &program, mode, threads, repeat));
         }
     }
     println!("HOST THROUGHPUT — STEPPING vs SKIPPING vs SHARDED PARALLEL");
@@ -380,7 +448,150 @@ fn run_perf(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usize
     };
     println!("(host has {} CPUs)", summary.host_cpus);
     dump_json(json, "perf", &summary);
+    let horizon: Vec<EventHorizonRow> = summary
+        .rows
+        .iter()
+        .map(|r| EventHorizonRow {
+            benchmark: r.benchmark.clone(),
+            mode: r.mode.clone(),
+            engine: "event",
+            host_cpus: summary.host_cpus,
+            cycles: r.cycles,
+            stepped_wall_s: r.stepped_wall_s,
+            event_wall_s: r.skipping_wall_s,
+            speedup: r.speedup,
+            stepped_mcyc_per_s: r.stepped_mcyc_per_s,
+            event_mcyc_per_s: r.skipping_mcyc_per_s,
+            skipped_fraction: r.skipped_fraction,
+        })
+        .collect();
+    dump_json(json, "event_horizon", &horizon);
     summary
+}
+
+/// One row of the committed `BENCH_EVENT_HORIZON.json` snapshot: the
+/// event-driven engine behind `run()` measured against the per-cycle
+/// stepped oracle. `engine` and `host_cpus` are recorded so cross-host
+/// trajectories of the snapshot stay interpretable.
+#[derive(serde::Serialize)]
+struct EventHorizonRow {
+    benchmark: String,
+    mode: String,
+    engine: &'static str,
+    host_cpus: u64,
+    cycles: u64,
+    stepped_wall_s: f64,
+    event_wall_s: f64,
+    speedup: f64,
+    stepped_mcyc_per_s: f64,
+    event_mcyc_per_s: f64,
+    skipped_fraction: f64,
+}
+
+/// Absolute per-benchmark floor on the event-vs-stepped speedup: the
+/// event-driven engine must match or beat the stepped oracle on every
+/// single workload, not merely in geomean — one pathological benchmark
+/// could otherwise hide inside a healthy average.
+fn check_floor(current: &PerfSummary, floor: f64) {
+    let mut failed = false;
+    for r in &current.rows {
+        if r.speedup < floor {
+            println!(
+                "floor: {} / {}: event-vs-stepped speedup {:.2}x is below {floor}x",
+                r.mode, r.benchmark, r.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "error: the event-driven engine fell below {floor}x of stepped on some benchmark"
+        );
+        std::process::exit(1);
+    }
+    println!("perf floor: every benchmark's event-vs-stepped speedup is >= {floor}x");
+}
+
+/// One benchmark's per-component host-time attribution in the
+/// `--profile` JSON artifact.
+#[derive(serde::Serialize)]
+struct ProfileRow {
+    benchmark: String,
+    mode: String,
+    profile: gpumem_sim::EngineProfile,
+}
+
+/// The `perf --profile` study: runs the event-driven engine with
+/// host-time instrumentation and attributes wall time to components
+/// (scheduler, cores, L1, crossbars, partitions, DRAM), so perf work
+/// starts from data rather than guesses. The instrumented runs pay for
+/// their own stopwatches — absolute wall times here are slightly above
+/// the uninstrumented sweep's, but the *shares* are what matter.
+fn run_profile(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+    println!("PER-COMPONENT HOST-TIME ATTRIBUTION — event-driven engine");
+    println!("(awake%: fraction of executed cycles each component class actually ran)");
+    println!(
+        "{:>10} {:>18} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>10} {:>9} {:>7} {:>7} {:>7}",
+        "benchmark",
+        "mode",
+        "wall_s",
+        "sched%",
+        "cores%",
+        "L1%",
+        "xbar%",
+        "parts%",
+        "DRAM%",
+        "other%",
+        "executed",
+        "skipped",
+        "cores",
+        "parts",
+        "xbars"
+    );
+    let mut rows = Vec::new();
+    for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
+        for program in suite(scale) {
+            eprintln!("profile: {} / {mode} ...", program.name());
+            let (report, p) = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode)
+                .run_profiled(gpumem::DEFAULT_MAX_CYCLES)
+                .expect("profiled run completes");
+            let pct = |s: f64| 100.0 * s / p.wall_seconds.max(1e-12);
+            let other = p.wall_seconds
+                - p.scheduler_seconds
+                - p.cores_seconds
+                - p.l1_seconds
+                - p.crossbar_seconds
+                - p.partitions_seconds
+                - p.dram_seconds;
+            let awake = |runs: u64, per_cycle: u64| {
+                100.0 * runs as f64 / (p.executed_cycles.max(1) * per_cycle.max(1)) as f64
+            };
+            println!(
+                "{:>10} {:>18} {:>8.3} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>10} {:>9} {:>6.1} {:>6.1} {:>6.1}",
+                report.benchmark,
+                report.mode,
+                p.wall_seconds,
+                pct(p.scheduler_seconds),
+                pct(p.cores_seconds),
+                pct(p.l1_seconds),
+                pct(p.crossbar_seconds),
+                pct(p.partitions_seconds),
+                pct(p.dram_seconds),
+                pct(other.max(0.0)),
+                p.executed_cycles,
+                p.skipped_cycles,
+                awake(p.core_runs, cfg.num_cores as u64),
+                awake(p.partition_runs, cfg.num_partitions as u64),
+                awake(p.req_xbar_ticks + p.resp_xbar_ticks, 2),
+            );
+            rows.push(ProfileRow {
+                benchmark: report.benchmark.clone(),
+                mode: report.mode.clone(),
+                profile: p,
+            });
+        }
+    }
+    dump_json(json, "profile", &rows);
 }
 
 /// One benchmark's (current, baseline) speedup pair inside a gate.
@@ -811,9 +1022,17 @@ fn main() {
         "dse" => run_dse(&cfg, args.scale, &args.json_dir),
         "ablation" => run_ablation(&cfg, args.scale, &args.json_dir),
         "perf" => {
-            let summary = run_perf(&cfg, args.scale, &args.json_dir, &args.threads);
-            if let Some(baseline) = &args.check {
-                check_perf(&summary, baseline, args.min_ratio);
+            if args.profile {
+                run_profile(&cfg, args.scale, &args.json_dir);
+            } else {
+                let summary =
+                    run_perf(&cfg, args.scale, &args.json_dir, &args.threads, args.repeat);
+                if let Some(baseline) = &args.check {
+                    check_perf(&summary, baseline, args.min_ratio);
+                }
+                if let Some(floor) = args.floor {
+                    check_floor(&summary, floor);
+                }
             }
         }
         "trace" => run_trace(&cfg, args.scale, &args.json_dir, &args.threads),

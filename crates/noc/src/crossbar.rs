@@ -71,6 +71,13 @@ pub struct IngressPort {
     /// port before this cycle. `Cycle::ZERO` (the default) means never
     /// held, so the field is inert unless a `ChaosConfig` drives it.
     held_until: Cycle,
+    /// Destination of the head packet, mirrored out of the ring buffer
+    /// (`usize::MAX` when empty) so per-cycle arbitration compares one
+    /// word per port instead of dereferencing the queue front for every
+    /// input × output pair. Maintained by every head mutation
+    /// (`try_inject` into an empty queue, the arbitration pop,
+    /// `chaos_rotate_head`).
+    head_dest: usize,
 }
 
 impl IngressPort {
@@ -80,7 +87,13 @@ impl IngressPort {
             dest_limit,
             injected: 0,
             held_until: Cycle::ZERO,
+            head_dest: usize::MAX,
         }
+    }
+
+    /// Re-derives the mirrored head destination from the queue front.
+    fn refresh_head(&mut self) {
+        self.head_dest = self.queue.front().map_or(usize::MAX, |p| p.dest);
     }
 
     /// True while a chaos hold prevents the fabric from draining this port.
@@ -106,6 +119,7 @@ impl IngressPort {
             // Cannot fail: we just popped, so a slot is free.
             let _ = self.queue.push(pkt);
         }
+        self.refresh_head();
     }
 
     /// True if this port can accept a packet this cycle.
@@ -125,9 +139,13 @@ impl IngressPort {
     #[allow(clippy::result_large_err)] // the rejected packet is handed back by design
     pub fn try_inject(&mut self, packet: Packet) -> Result<(), Packet> {
         assert!(packet.dest < self.dest_limit, "destination out of range");
+        let dest = packet.dest;
         match self.queue.push(packet) {
             Ok(()) => {
                 self.injected += 1;
+                if self.queue.len() == 1 {
+                    self.head_dest = dest;
+                }
                 Ok(())
             }
             Err(e) => Err(e.into_inner()),
@@ -182,6 +200,15 @@ pub struct EgressPort {
     /// Packets popped from this port (merged into
     /// [`CrossbarStats::packets_ejected`]).
     ejected: u64,
+}
+
+impl EgressPort {
+    /// Running count of packets popped from this port's ejection queue.
+    /// A change signals that a receiver returned a credit (the engine
+    /// uses this to re-arm a sleeping crossbar).
+    pub fn ejected_count(&self) -> u64 {
+        self.ejected
+    }
 }
 
 impl EgressPort {
@@ -327,7 +354,7 @@ impl CrossbarFabric {
             if out_slot.borrow_mut().credits == 0 {
                 let wanted = inputs.iter_mut().any(|q| {
                     let q = q.borrow_mut();
-                    !q.held(now) && q.queue.front().is_some_and(|p| p.dest == out_idx)
+                    q.head_dest == out_idx && !q.held(now)
                 });
                 if wanted {
                     self.credit_stall_cycles += 1;
@@ -339,14 +366,17 @@ impl CrossbarFabric {
             for step in 0..n_inputs {
                 let in_idx = (start + step) % n_inputs;
                 let input = inputs[in_idx].borrow_mut();
-                let matches =
-                    !input.held(now) && input.queue.front().is_some_and(|p| p.dest == out_idx);
-                if !matches {
+                // The mirrored head destination stands in for a queue-front
+                // dereference; `usize::MAX` (empty) never matches a port.
+                if input.head_dest != out_idx || input.held(now) {
                     continue;
                 }
-                let Some(pkt) = inputs[in_idx].borrow_mut().queue.pop() else {
+                let Some(pkt) = input.queue.pop() else {
                     continue;
                 };
+                // Later outputs in this same tick must see the post-pop head.
+                input.refresh_head();
+                debug_assert_eq!(pkt.dest, out_idx);
                 let out = out_slot.borrow_mut();
                 out.rr = (in_idx + 1) % n_inputs;
                 out.credits = match out.credits.checked_sub(1) {
@@ -577,27 +607,30 @@ impl Crossbar {
         }
     }
 
-    /// The earliest cycle at or after `now` at which this crossbar can
-    /// move a packet or at which a receiver could drain one, or `None`
-    /// when it is completely empty.
+    /// The earliest cycle at or after `now` at which a tick of this
+    /// crossbar can move a packet, or `None` when no self-generated event
+    /// is pending.
     ///
-    /// `Some(now)` whenever any input holds a packet (arbitration or a
-    /// credit stall happens this cycle), any output is mid-stream, any
-    /// delivered packet awaits a receiver, or an in-flight packet has
-    /// already arrived. Otherwise the only self-generated future event is
-    /// the earliest in-flight arrival (per-output FIFOs are
-    /// arrival-ordered, so the fronts suffice).
+    /// `Some(now)` whenever a tick would act: an output is mid-stream, an
+    /// in-flight packet has arrived, or an output holding a credit has a
+    /// head-of-queue packet addressed to it. A credit-starved crossbar —
+    /// packets queued but every wanted output out of credits — reports
+    /// the earliest in-flight arrival (or `None`): ticking it would move
+    /// nothing, and the events that unblock it (a receiver popping an
+    /// ejection queue, a fresh injection) re-arm it from outside.
+    /// [`fast_forward`](Crossbar::fast_forward) replays the per-cycle
+    /// credit-stall accounting such a window accrues.
+    ///
+    /// Chaos-held inputs are treated as visible here, which can only
+    /// produce spurious wake-ups (a tick that moves nothing is
+    /// stat-identical to a skipped cycle); chaos runs use the stepped
+    /// engine anyway.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        let busy_now = self.ingress.iter().any(|q| !q.is_empty())
-            || self
-                .egress
-                .iter()
-                .any(|o| o.streaming.is_some() || !o.ejection.is_empty());
-        if busy_now {
-            return Some(now);
-        }
         let mut earliest: Option<Cycle> = None;
-        for out in &self.egress {
+        for (out_idx, out) in self.egress.iter().enumerate() {
+            if out.streaming.is_some() {
+                return Some(now);
+            }
             if let Some((arrive, _)) = out.in_flight.front() {
                 if *arrive <= now {
                     return Some(now);
@@ -607,8 +640,53 @@ impl Crossbar {
                     _ => *arrive,
                 });
             }
+            if out.credits > 0 && self.ingress.iter().any(|q| q.head_dest == out_idx) {
+                return Some(now);
+            }
         }
         earliest
+    }
+
+    /// Replays `cycles` consecutive skipped ticks starting at `now`, over
+    /// a window [`next_event`](Crossbar::next_event) proved inert: no
+    /// packet moves, but a credit-starved output with a waiting
+    /// head-of-queue packet still counts a stall every cycle, exactly as
+    /// per-cycle ticking would. Also backfills queue-occupancy
+    /// observations for the window.
+    pub fn fast_forward(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.account_stalls_many(now, cycles);
+        self.observe_many(cycles);
+    }
+
+    /// Counts this cycle's credit stalls without ticking: the stall side
+    /// of a tick that [`next_event`](Crossbar::next_event) proved would
+    /// move nothing. The engine calls this when a later pipeline stage is
+    /// about to mutate a sleeping crossbar mid-cycle: the stall must be
+    /// charged against the pre-mutation state the skipped tick would have
+    /// seen, while the end-of-cycle occupancy observation happens after
+    /// the mutation.
+    pub fn account_stalls(&mut self, now: Cycle) {
+        self.account_stalls_many(now, 1);
+    }
+
+    fn account_stalls_many(&mut self, now: Cycle, cycles: u64) {
+        let mut starved = 0u64;
+        for (out_idx, out) in self.egress.iter().enumerate() {
+            if out.credits != 0 {
+                continue;
+            }
+            let wanted = self
+                .ingress
+                .iter()
+                .any(|q| q.head_dest == out_idx && !q.held(now));
+            if wanted {
+                starved += 1;
+            }
+        }
+        self.fabric.credit_stall_cycles += starved * cycles;
     }
 
     /// True if no packet is anywhere inside the crossbar (for liveness and

@@ -92,7 +92,7 @@ pub struct GpuSimulator {
     pub(crate) responses_delivered: u64,
     pub(crate) requests_injected: u64,
     pub(crate) stepped_cycles: u64,
-    skipped_cycles: u64,
+    pub(crate) skipped_cycles: u64,
     skip_policy: SkipPolicy,
     /// No-progress horizon in cycles; `None` disables the watchdog.
     pub(crate) watchdog_horizon: Option<u64>,
@@ -246,18 +246,59 @@ impl GpuSimulator {
         self.now
     }
 
-    /// Runs until the kernel completes and the memory system drains,
-    /// fast-forwarding across cycles in which no component can act (see
-    /// [`next_event`](GpuSimulator::next_event)). The skipping is
+    /// Runs until the kernel completes and the memory system drains, on
+    /// the event-driven kernel: a timing wheel wakes only the components
+    /// that have work, and sleeping components are caught up in closed
+    /// form (see `crates/sim/src/events.rs`). The engine choice is
     /// observationally invisible: every [`SimReport`] field except the
     /// host-side [`SimReport::host`] block is bit-identical to
     /// [`run_stepped`](GpuSimulator::run_stepped).
+    ///
+    /// An armed watchdog or chaos schedule demands real per-cycle
+    /// stepping (chaos injects at specific cycles; the watchdog counts
+    /// real cycles), so those runs fall back to the stepped loop with
+    /// horizon skipping, exactly as before.
     ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] if completion is not reached within
     /// `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        if self.watchdog_horizon.is_some() || self.chaos.is_some() {
+            return self.run_inner(max_cycles, true);
+        }
+        crate::events::run_event(self, max_cycles, false).map(|(report, _)| report)
+    }
+
+    /// Runs on the event-driven kernel with per-component host-time
+    /// attribution enabled, returning the profile alongside the report.
+    /// Simulation results are bit-identical to [`run`](GpuSimulator::run);
+    /// only host-side timing is collected. Requires no watchdog and no
+    /// chaos schedule to be armed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run_profiled(
+        &mut self,
+        max_cycles: u64,
+    ) -> Result<(SimReport, crate::EngineProfile), SimError> {
+        let (report, profile) = crate::events::run_event(self, max_cycles, true)?;
+        Ok((report, profile.unwrap_or_default()))
+    }
+
+    /// Runs on the legacy whole-machine event-horizon engine: per-cycle
+    /// stepping with lazy [`SkipPolicy`]-driven horizon jumps. Retained
+    /// for A/B comparison against the event-driven kernel and as the
+    /// engine behind watchdog/chaos runs; results are bit-identical to
+    /// both other serial engines.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run_horizon(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
         self.run_inner(max_cycles, true)
     }
 
@@ -281,7 +322,7 @@ impl GpuSimulator {
         // `next_event() == None`, which skipping would misread as "jump to
         // the budget".
         let mut watchdog = self.watchdog_horizon.map(Watchdog::new);
-        let skip = skip && watchdog.is_none() && self.chaos.is_none();
+        let mut skip = skip && watchdog.is_none() && self.chaos.is_none();
         // Horizon scans run under the lazy policy (see [`SkipPolicy`]):
         // wait `lazy_start` cycles before the first attempt, back off
         // exponentially while attempts fail, resume scanning every cycle
@@ -337,6 +378,14 @@ impl GpuSimulator {
                     backoff = 0;
                 } else {
                     failed_shift = (failed_shift + 1).min(self.skip_policy.max_shift);
+                    // Adaptive give-up: once the backoff is saturated and
+                    // not a single cycle has ever been skipped, this run
+                    // is congestion-bound end to end (the paper's §III
+                    // regime) and further scans are pure overhead —
+                    // disable them for the rest of the run.
+                    if failed_shift == self.skip_policy.max_shift && self.skipped_cycles == 0 {
+                        skip = false;
+                    }
                     backoff = 1 << failed_shift;
                 }
             }
@@ -433,6 +482,23 @@ impl GpuSimulator {
                 {
                     return Some(now);
                 }
+                // Cross-component couplings the per-component events can't
+                // see: packets a crossbar already ejected are popped by the
+                // *receiving* side's stage — a queued response wakes its
+                // core, a queued request wakes its partition — and the pop
+                // returns the credit a starved crossbar may be sleeping on
+                // (its own next_event deliberately ignores ejection queues;
+                // see [`gpumem_noc::Crossbar::next_event`]).
+                for c in 0..self.cores.len() {
+                    if resp_xbar.peek_ejected(c).is_some() {
+                        return Some(now);
+                    }
+                }
+                for p_idx in 0..partitions.len() {
+                    if req_xbar.peek_ejected(p_idx).is_some() {
+                        return Some(now);
+                    }
+                }
                 for p in partitions {
                     if fold(p.next_event(now), &mut earliest) {
                         return Some(now);
@@ -479,8 +545,8 @@ impl GpuSimulator {
                 for p in partitions.iter_mut() {
                     p.fast_forward(now, cycles);
                 }
-                req_xbar.observe_many(cycles);
-                resp_xbar.observe_many(cycles);
+                req_xbar.fast_forward(now, cycles);
+                resp_xbar.fast_forward(now, cycles);
             }
             Backend::Fixed(_) => {}
         }

@@ -54,18 +54,22 @@
 #![warn(missing_docs)]
 
 mod chaos;
+mod events;
 mod fixed;
 mod gpu;
 mod parallel;
 mod partition;
 mod report;
+mod sched;
 mod watchdog;
 
 pub use chaos::ChaosConfig;
+pub use events::EngineProfile;
 pub use fixed::FixedLatencyMemory;
 pub use gpu::{GpuSimulator, MemoryMode, SkipPolicy};
 pub use partition::{L2Stats, MemoryPartition, PartitionTrace};
 pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
+pub use sched::TimingWheel;
 pub use watchdog::{ProgressFingerprint, Watchdog};
 
 // The observability layer's public surface, re-exported so downstream code

@@ -167,6 +167,11 @@ pub struct MemoryPartition {
     /// this cycle. `Cycle::ZERO` = inert.
     chaos_dram_until: Cycle,
     trace: Option<Box<PartitionTrace>>,
+    /// Host-time attribution: accumulate the wall time spent inside the
+    /// DRAM channel (tick + return drain) when profiling is enabled.
+    /// Never read by the timing model, so it cannot affect results.
+    host_profile: bool,
+    host_dram_seconds: f64,
 }
 
 impl std::fmt::Debug for MemoryPartition {
@@ -222,7 +227,22 @@ impl MemoryPartition {
             chaos_mshr_until: Cycle::ZERO,
             chaos_dram_until: Cycle::ZERO,
             trace: None,
+            host_profile: false,
+            host_dram_seconds: 0.0,
         }
+    }
+
+    /// Starts attributing host wall time spent in the DRAM channel to
+    /// [`host_dram_seconds`](MemoryPartition::host_dram_seconds).
+    /// Timing-model-invisible; enable before running.
+    pub fn enable_host_profile(&mut self) {
+        self.host_profile = true;
+    }
+
+    /// Host seconds spent inside the DRAM channel since profiling was
+    /// enabled.
+    pub fn host_dram_seconds(&self) -> f64 {
+        self.host_dram_seconds
     }
 
     /// Turns on fetch-lifecycle tracing for this partition and its DRAM
@@ -282,8 +302,15 @@ impl MemoryPartition {
             tr.dram_sched.sample(now, self.dram.read_queue_len() as u64);
         }
         self.intake(now, req_ej)?;
-        self.dram.tick(now)?;
-        self.drain_dram_returns(now)?;
+        if self.host_profile {
+            let sw = gpumem_types::host_wall_clock();
+            self.dram.tick(now)?;
+            self.drain_dram_returns(now)?;
+            self.host_dram_seconds += sw.elapsed_seconds();
+        } else {
+            self.dram.tick(now)?;
+            self.drain_dram_returns(now)?;
+        }
         self.process_fill(now)?;
         self.land_bank_completions(now)?;
         self.serve_access_queue(now)?;

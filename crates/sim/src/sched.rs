@@ -1,0 +1,360 @@
+//! A two-level timing wheel: the event queue behind the event-driven
+//! engine in [`crate::events`].
+//!
+//! The wheel keeps near-future events (within `slots` cycles of the
+//! current horizon) in a circular slot array indexed by `cycle mod
+//! slots`, with a per-64-slot occupancy bitmap so finding the next
+//! non-empty slot is a handful of `trailing_zeros` scans instead of a
+//! walk over every slot — that bitmap is the wheel's second level. Events
+//! beyond the window wait in a min-heap overflow and are promoted into
+//! the slot array whenever the horizon advances past their epoch, so the
+//! common case (components re-arming a few cycles ahead) never touches
+//! the heap.
+//!
+//! Ordering contract, relied on by the engine for bit-identity with the
+//! stepped reference: [`pop`](TimingWheel::pop) always returns the event
+//! with the smallest cycle, and events scheduled for the *same* cycle
+//! come back in the order they were scheduled (stable FIFO). The FIFO
+//! guarantee holds across the overflow path too: an event can only sit
+//! in overflow while its cycle is outside the window, and it is promoted
+//! the moment the window reaches it — before any later `schedule` call
+//! could append a same-cycle event directly to the slot.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One scheduled event: `seq` is a monotone insertion stamp that makes
+/// same-cycle ordering stable.
+struct Pending<T> {
+    cycle: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.cycle, self.seq) == (other.cycle, other.seq)
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    /// Reversed (max-heap becomes min-heap): the `BinaryHeap` overflow
+    /// pops its smallest `(cycle, seq)` first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// A monotone min-priority queue of `(cycle, item)` events with stable
+/// FIFO order within a cycle.
+///
+/// "Monotone" means time only moves forward: popping an event at cycle
+/// `t` advances an internal horizon, and any later schedule for a cycle
+/// before the horizon is clamped up to it. The event-driven engine never
+/// schedules into the past, so the clamp is a safety net, not a code
+/// path.
+///
+/// # Example
+///
+/// ```
+/// use gpumem_sim::TimingWheel;
+///
+/// let mut wheel = TimingWheel::new();
+/// wheel.schedule(30, "late");
+/// wheel.schedule(10, "early");
+/// wheel.schedule(10, "early-second");
+/// assert_eq!(wheel.pop(), Some((10, "early")));
+/// assert_eq!(wheel.pop(), Some((10, "early-second")));
+/// assert_eq!(wheel.pop(), Some((30, "late")));
+/// assert_eq!(wheel.pop(), None);
+/// ```
+pub struct TimingWheel<T> {
+    /// Circular slot array; slot `c & mask` holds events for cycle `c`
+    /// when `c` lies within `horizon .. horizon + slots.len()`.
+    slots: Vec<VecDeque<Pending<T>>>,
+    /// One bit per slot: set iff the slot is non-empty.
+    occupied: Vec<u64>,
+    /// Events at or beyond `horizon + slots.len()`.
+    overflow: BinaryHeap<Pending<T>>,
+    /// All queued events lie at cycles `>= horizon`.
+    horizon: u64,
+    next_seq: u64,
+    /// Events currently in `slots` (excludes `overflow`).
+    in_slots: usize,
+}
+
+/// Default window: events within 4096 cycles of the horizon go straight
+/// to a slot. Partition/core re-arms are almost always a few cycles out;
+/// only DRAM refresh-scale sleeps and fixed-latency returns ever overflow.
+const DEFAULT_SLOTS: usize = 4096;
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with the default window size.
+    pub fn new() -> Self {
+        Self::with_slots(DEFAULT_SLOTS)
+    }
+
+    /// An empty wheel whose direct window spans `slots` cycles, rounded
+    /// up to a power of two of at least 64. Small windows exercise the
+    /// overflow/promotion path and epoch wrap-around; the engine uses
+    /// the default.
+    pub fn with_slots(slots: usize) -> Self {
+        let slots = slots.clamp(64, 1 << 20).next_power_of_two();
+        TimingWheel {
+            slots: (0..slots).map(|_| VecDeque::new()).collect(),
+            occupied: vec![0; slots / 64],
+            overflow: BinaryHeap::new(),
+            horizon: 0,
+            next_seq: 0,
+            in_slots: 0,
+        }
+    }
+
+    /// Total queued events.
+    pub fn len(&self) -> usize {
+        self.in_slots + self.overflow.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cycle below which no event can exist: the cycle of the last
+    /// popped event, or 0 before the first pop.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.slots.len() as u64 - 1
+    }
+
+    /// Queues `item` at `cycle`. Cycles before the horizon are clamped
+    /// up to it (time is monotone; see the type docs).
+    pub fn schedule(&mut self, cycle: u64, item: T) {
+        let cycle = cycle.max(self.horizon);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Pending { cycle, seq, item };
+        if cycle - self.horizon < self.slots.len() as u64 {
+            self.put_slot(entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    #[inline]
+    fn put_slot(&mut self, entry: Pending<T>) {
+        let idx = (entry.cycle & self.mask()) as usize;
+        self.slots[idx].push_back(entry);
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        self.in_slots += 1;
+    }
+
+    /// Drops every queued event and jumps the horizon to `horizon`
+    /// (monotone: it never moves backwards). Used by the engine when it
+    /// re-derives the armed set directly from machine state after a
+    /// dense stretch executed outside the wheel — stale entries from
+    /// before the stretch would otherwise pop at past cycles.
+    pub fn clear_to(&mut self, horizon: u64) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        for word in &mut self.occupied {
+            *word = 0;
+        }
+        self.overflow.clear();
+        self.in_slots = 0;
+        self.horizon = self.horizon.max(horizon);
+    }
+
+    /// The cycle of the next event without removing it.
+    pub fn peek_cycle(&self) -> Option<u64> {
+        // Slot events always precede overflow events (the window invariant),
+        // so the scan only consults the heap when the slots are empty.
+        if self.in_slots > 0 {
+            self.scan_from(self.horizon)
+                .and_then(|idx| self.slots[idx].front().map(|e| e.cycle))
+        } else {
+            self.overflow.peek().map(|e| e.cycle)
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, item)`; stable
+    /// FIFO among events scheduled for the same cycle.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if self.in_slots == 0 {
+            // Window exhausted: jump the horizon to the overflow epoch and
+            // promote everything that now fits, then fall through to the
+            // slot path so ordering logic lives in one place.
+            let next = self.overflow.peek().map(|e| e.cycle)?;
+            self.advance(next);
+        }
+        let idx = self.scan_from(self.horizon)?;
+        let cycle = match self.slots[idx].front() {
+            Some(e) => e.cycle,
+            None => return None, // unreachable: bit set implies non-empty
+        };
+        // Advance before extracting so same-cycle re-arms by the caller
+        // land behind the remaining entries, and promotion happens before
+        // any same-cycle `schedule` could jump the FIFO order.
+        self.advance(cycle);
+        let entry = self.slots[idx].pop_front()?;
+        self.in_slots -= 1;
+        if self.slots[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        Some((entry.cycle, entry.item))
+    }
+
+    /// Moves the horizon to `to` and promotes every overflow event that
+    /// the shifted window now covers.
+    fn advance(&mut self, to: u64) {
+        debug_assert!(to >= self.horizon, "timing wheel ran backwards");
+        self.horizon = to;
+        let window = self.slots.len() as u64;
+        while let Some(head) = self.overflow.peek() {
+            if head.cycle - self.horizon >= window {
+                break;
+            }
+            if let Some(entry) = self.overflow.pop() {
+                self.put_slot(entry);
+            }
+        }
+    }
+
+    /// Index of the first occupied slot at or after `from`, searching the
+    /// circular window `[from, from + slots)`. Scans the occupancy bitmap
+    /// a word at a time.
+    fn scan_from(&self, from: u64) -> Option<usize> {
+        if self.in_slots == 0 {
+            return None;
+        }
+        let nwords = self.occupied.len();
+        let start = (from & self.mask()) as usize;
+        let (w0, b0) = (start / 64, start % 64);
+        // Bits at or after the horizon position within its own word.
+        let high = self.occupied[w0] & (!0u64 << b0);
+        if high != 0 {
+            return Some(w0 * 64 + high.trailing_zeros() as usize);
+        }
+        // Remaining words in circular order; the wrapped-around visit of
+        // `w0` keeps only the bits before the horizon position (those
+        // slots hold cycles near the far end of the window).
+        for step in 1..=nwords {
+            let w = (w0 + step) % nwords;
+            let word = if w == w0 {
+                self.occupied[w0] & !(!0u64 << b0)
+            } else {
+                self.occupied[w]
+            };
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wheel() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.peek_cycle(), None);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut w = TimingWheel::with_slots(64);
+        for (c, v) in [(5u64, 'a'), (2, 'b'), (9, 'c'), (2, 'd')] {
+            w.schedule(c, v);
+        }
+        assert_eq!(w.peek_cycle(), Some(2));
+        assert_eq!(w.pop(), Some((2, 'b')));
+        assert_eq!(w.pop(), Some((2, 'd')));
+        assert_eq!(w.pop(), Some((5, 'a')));
+        assert_eq!(w.pop(), Some((9, 'c')));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn overflow_promotes_across_epochs() {
+        let mut w = TimingWheel::with_slots(64);
+        w.schedule(1_000_000, "far");
+        w.schedule(3, "near");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some((3, "near")));
+        assert_eq!(w.peek_cycle(), Some(1_000_000));
+        assert_eq!(w.pop(), Some((1_000_000, "far")));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_precedes_direct_insert_at_same_cycle() {
+        let mut w = TimingWheel::with_slots(64);
+        w.schedule(100, "overflowed"); // outside the [0, 64) window
+        w.schedule(1, "warm");
+        assert_eq!(w.pop(), Some((1, "warm")));
+        // Horizon is now 1, so 100 was promoted into the window; a direct
+        // insert at the same cycle must come back after it.
+        w.schedule(100, "direct");
+        assert_eq!(w.pop(), Some((100, "overflowed")));
+        assert_eq!(w.pop(), Some((100, "direct")));
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_horizon() {
+        let mut w = TimingWheel::with_slots(64);
+        w.schedule(10, 1);
+        assert_eq!(w.pop(), Some((10, 1)));
+        w.schedule(4, 2); // in the past: clamps to 10
+        assert_eq!(w.pop(), Some((10, 2)));
+    }
+
+    #[test]
+    fn wraps_around_the_slot_ring() {
+        let mut w = TimingWheel::with_slots(64);
+        // March the horizon across several full ring revolutions.
+        let mut expect = Vec::new();
+        for i in 0..300u64 {
+            w.schedule(i * 3, i);
+            expect.push((i * 3, i));
+        }
+        let mut got = Vec::new();
+        while let Some(e) = w.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn same_cycle_rearm_during_drain_stays_fifo() {
+        let mut w = TimingWheel::with_slots(64);
+        w.schedule(7, 0);
+        w.schedule(7, 1);
+        assert_eq!(w.pop(), Some((7, 0)));
+        // Re-arm at the popped cycle mid-drain: must land behind entry 1.
+        w.schedule(7, 2);
+        assert_eq!(w.pop(), Some((7, 1)));
+        assert_eq!(w.pop(), Some((7, 2)));
+    }
+}

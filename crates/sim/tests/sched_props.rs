@@ -1,0 +1,176 @@
+//! Property tests for the [`TimingWheel`]: the engine's bit-identity
+//! argument leans on the wheel's ordering contract (min-cycle pop, stable
+//! FIFO within a cycle, monotone horizon), so the contract is checked
+//! here against a brute-force sorted-Vec reference across arbitrary
+//! schedule/pop interleavings, including epoch wrap-around and the
+//! overflow-promotion path of deliberately tiny wheels.
+
+use gpumem_sim::TimingWheel;
+use proptest::prelude::*;
+
+/// Brute-force reference: a flat Vec popped by `(cycle, seq)` minimum,
+/// with the same monotone-horizon clamp the wheel documents.
+struct RefQueue {
+    queue: Vec<(u64, u64, u32)>,
+    horizon: u64,
+    next_seq: u64,
+}
+
+impl RefQueue {
+    fn new() -> Self {
+        RefQueue {
+            queue: Vec::new(),
+            horizon: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, cycle: u64, item: u32) {
+        let cycle = cycle.max(self.horizon);
+        self.queue.push((cycle, self.next_seq, item));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let idx = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(c, s, _))| (c, s))
+            .map(|(i, _)| i)?;
+        let (cycle, _, item) = self.queue.remove(idx);
+        self.horizon = cycle;
+        Some((cycle, item))
+    }
+}
+
+/// Drives a wheel and the reference through the same op sequence and
+/// checks every pop agrees. `ops` elements: `(is_pop, delta)`; schedules
+/// place events `delta` cycles past the last popped cycle, so sequences
+/// exercise near-horizon slots, same-cycle FIFO runs, and far overflow.
+fn run_ops(slots: usize, ops: &[(bool, u64)]) {
+    let mut wheel = TimingWheel::with_slots(slots);
+    let mut reference = RefQueue::new();
+    let mut base = 0u64;
+    for (i, &(is_pop, delta)) in ops.iter().enumerate() {
+        if is_pop {
+            let got = wheel.pop();
+            let want = reference.pop();
+            prop_assert_eq!(got, want, "pop #{i} diverged");
+            if let Some((cycle, _)) = got {
+                base = cycle;
+            }
+        } else {
+            let item = i as u32;
+            wheel.schedule(base + delta, item);
+            reference.schedule(base + delta, item);
+            prop_assert_eq!(wheel.len(), reference.queue.len());
+        }
+    }
+    // Drain: both must agree to the end, in particular on FIFO order of
+    // whatever same-cycle groups remain.
+    loop {
+        let got = wheel.pop();
+        let want = reference.pop();
+        prop_assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    prop_assert!(wheel.is_empty());
+}
+
+proptest! {
+    /// Differential check against the sorted-Vec reference with a
+    /// full-size wheel and mixed near/far deltas.
+    #[test]
+    fn wheel_matches_sorted_reference(
+        ops in prop::collection::vec(
+            (0u32..4, 0u64..6000).prop_map(|(k, d)| (k == 0, d)),
+            1..200,
+        ),
+    ) {
+        run_ops(4096, &ops);
+    }
+
+    /// Same differential with a 64-slot wheel and deltas chosen to cross
+    /// the direct window repeatedly: every event wraps the slot array at
+    /// least once or lands in overflow and is promoted across epochs.
+    #[test]
+    fn wrap_around_epochs_match_reference(
+        ops in prop::collection::vec(
+            (0u32..4, 50u64..400).prop_map(|(k, d)| (k == 0, d)),
+            1..150,
+        ),
+    ) {
+        run_ops(64, &ops);
+    }
+
+    /// Popping after an arbitrary schedule burst always yields
+    /// non-decreasing cycles, and the first pop is the global minimum.
+    #[test]
+    fn pops_come_out_in_min_cycle_order(
+        cycles in prop::collection::vec(0u64..10_000, 1..120),
+    ) {
+        let mut wheel = TimingWheel::with_slots(64);
+        for (i, &c) in cycles.iter().enumerate() {
+            wheel.schedule(c, i as u32);
+        }
+        let mut min_cycle = *cycles.iter().min().unwrap();
+        while let Some((cycle, _)) = wheel.pop() {
+            prop_assert!(
+                cycle >= min_cycle,
+                "pop at {cycle} after {min_cycle}: wheel ran backwards"
+            );
+            min_cycle = cycle;
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Events scheduled for the same cycle come back in insertion order
+    /// even when interleaved with events at other cycles.
+    #[test]
+    fn fifo_is_stable_within_a_cycle(
+        placements in prop::collection::vec(0u64..8, 2..100),
+    ) {
+        let mut wheel = TimingWheel::with_slots(64);
+        for (i, &c) in placements.iter().enumerate() {
+            wheel.schedule(c, i as u32);
+        }
+        let mut last: Option<(u64, u32)> = None;
+        while let Some((cycle, item)) = wheel.pop() {
+            if let Some((prev_cycle, prev_item)) = last {
+                prop_assert!(cycle >= prev_cycle);
+                if cycle == prev_cycle {
+                    prop_assert!(
+                        item > prev_item,
+                        "same-cycle FIFO violated: {item} after {prev_item}"
+                    );
+                }
+            }
+            last = Some((cycle, item));
+        }
+    }
+}
+
+/// `clear_to` empties the wheel (slots and overflow both) and the horizon
+/// keeps its monotone clamp for later schedules.
+#[test]
+fn clear_to_empties_and_clamps() {
+    let mut wheel = TimingWheel::with_slots(64);
+    wheel.schedule(3, 'a');
+    wheel.schedule(500, 'b'); // overflow for a 64-slot wheel
+    assert_eq!(wheel.pop(), Some((3, 'a')));
+    wheel.clear_to(100);
+    assert!(wheel.is_empty());
+    assert_eq!(wheel.pop(), None);
+    // A schedule before the new horizon is clamped up to it.
+    wheel.schedule(7, 'c');
+    wheel.schedule(200, 'd');
+    assert_eq!(wheel.pop(), Some((100, 'c')));
+    assert_eq!(wheel.pop(), Some((200, 'd')));
+    // Clearing never moves the horizon backwards.
+    wheel.clear_to(50);
+    wheel.schedule(60, 'e');
+    assert_eq!(wheel.pop(), Some((200, 'e')));
+}

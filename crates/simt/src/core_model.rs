@@ -145,9 +145,29 @@ pub struct SimtCore {
     last_issued: Option<usize>,
     next_fetch_seq: u64,
     age_counter: u64,
+    /// Lower bound on the earliest cycle at which any warp could pass the
+    /// issue pre-check. While `now < ready_lb` the whole GTO scan is
+    /// provably fruitless and [`cycle`](SimtCore::cycle) skips it. Raised
+    /// only by a failed scan (which proves the bound); lowered to zero by
+    /// every event that can make a warp eligible (CTA assignment, load
+    /// completion, barrier release), so skipping is always conservative.
+    ready_lb: Cycle,
+    /// Memoized stall classification. While `Some`, consecutive stalled
+    /// cycles replay this class without rescanning the warp set; every
+    /// mutation that can change the classification (an issued instruction,
+    /// a load completion, CTA assignment or retirement, a barrier release,
+    /// an issue-register transition) clears it. Time alone cannot flip a
+    /// cached class: see the argument in
+    /// [`classify_stall_many`](SimtCore::classify_stall_many).
+    stall_cache: Option<StallKind>,
     stats: CoreStats,
     miss_latency: LatencyStats,
     trace: Option<Box<CoreTrace>>,
+    /// Host-time attribution: accumulate the wall time spent in the L1
+    /// (hit wake-up, port access, fills) when profiling is enabled. Never
+    /// read by the timing model, so it cannot affect results.
+    host_profile: bool,
+    host_l1_seconds: f64,
 }
 
 impl std::fmt::Debug for SimtCore {
@@ -178,11 +198,27 @@ impl SimtCore {
             last_issued: None,
             next_fetch_seq: 0,
             age_counter: 0,
+            ready_lb: Cycle::ZERO,
+            stall_cache: None,
             stats: CoreStats::default(),
             miss_latency: LatencyStats::new(),
             trace: None,
+            host_profile: false,
+            host_l1_seconds: 0.0,
             program,
         }
+    }
+
+    /// Starts attributing host wall time spent in the L1 data cache to
+    /// [`host_l1_seconds`](SimtCore::host_l1_seconds).
+    /// Timing-model-invisible; enable before running.
+    pub fn enable_host_profile(&mut self) {
+        self.host_profile = true;
+    }
+
+    /// Host seconds spent inside the L1 since profiling was enabled.
+    pub fn host_l1_seconds(&self) -> f64 {
+        self.host_l1_seconds
     }
 
     /// Turns on fetch-lifecycle tracing. Idempotent; enable before running.
@@ -252,6 +288,8 @@ impl SimtCore {
             barrier_arrived: 0,
             warp_slots,
         });
+        self.ready_lb = Cycle::ZERO;
+        self.stall_cache = None;
         self.rebuild_issue_order();
     }
 
@@ -292,6 +330,7 @@ impl SimtCore {
     /// every merged access.
     pub fn accept_response(&mut self, fetch: MemFetch, now: Cycle) {
         debug_assert_eq!(fetch.core, self.id);
+        let sw = self.host_profile.then(gpumem_types::host_wall_clock);
         let completed = self.l1.fill(fetch, now);
         for done in completed {
             if let Some(lat) = done.timeline.l1_miss_latency() {
@@ -301,6 +340,9 @@ impl SimtCore {
                 tr.collector.record_fetch(&done);
             }
             self.complete_warp_access(&done);
+        }
+        if let Some(sw) = sw {
+            self.host_l1_seconds += sw.elapsed_seconds();
         }
     }
 
@@ -313,6 +355,9 @@ impl SimtCore {
         if !warp.assigned {
             return; // stale completion after forced teardown (tests only)
         }
+        // A completed load may unblock this warp's next instruction.
+        self.ready_lb = Cycle::ZERO;
+        self.stall_cache = None;
         warp.complete_access(fetch.load_tag);
         if warp.finished && warp.outstanding.is_empty() {
             let cta_slot = warp.cta_slot;
@@ -340,6 +385,7 @@ impl SimtCore {
         for &w in &state.warp_slots {
             self.warps[w] = WarpSlot::empty();
         }
+        self.stall_cache = None;
         self.stats.ctas_retired += 1;
         self.rebuild_issue_order();
     }
@@ -355,6 +401,8 @@ impl SimtCore {
             tr.lsu.sample(now, self.lsu_queue.len() as u64);
             tr.l1_miss.sample(now, self.l1.miss_queue_len() as u64);
         }
+
+        let sw = self.host_profile.then(gpumem_types::host_wall_clock);
 
         // 1. Wake loads whose L1 hit latency elapsed.
         for done in self.l1.pop_ready_hits(now) {
@@ -377,6 +425,10 @@ impl SimtCore {
             }
         }
 
+        if let Some(sw) = sw {
+            self.host_l1_seconds += sw.elapsed_seconds();
+        }
+
         // 3. Drain the issue register into the LSU pipeline (one coalesced
         //    access per cycle — the coalescer's throughput).
         if let Some(reg) = &mut self.issue_reg {
@@ -390,35 +442,46 @@ impl SimtCore {
             }
             if reg.accesses.is_empty() {
                 self.issue_reg = None;
+                // The pipeline freeing up changes the classification.
+                self.stall_cache = None;
             }
         }
 
         // 4. Issue up to `issue_width` instructions from ready warps (GTO).
+        //    While `ready_lb` proves no warp can pass the issue pre-check,
+        //    the scan is skipped entirely — `try_issue_warp` is
+        //    side-effect-free below its pre-check, so skipping it is
+        //    observationally identical to running it and failing.
         let mut issued = 0;
-        if let Some(last) = self.last_issued {
-            while issued < self.issue_width && self.try_issue_warp(last, now) {
-                issued += 1;
-            }
-        }
-        if issued < self.issue_width {
-            let order = std::mem::take(&mut self.issue_order);
-            for &w in &order {
-                if issued >= self.issue_width {
-                    break;
-                }
-                if Some(w) == self.last_issued {
-                    continue;
-                }
-                if self.try_issue_warp(w, now) {
-                    self.last_issued = Some(w);
+        if self.ready_lb <= now {
+            if let Some(last) = self.last_issued {
+                while issued < self.issue_width && self.try_issue_warp(last, now) {
                     issued += 1;
                 }
             }
-            self.issue_order = order;
+            if issued < self.issue_width {
+                let order = std::mem::take(&mut self.issue_order);
+                for &w in &order {
+                    if issued >= self.issue_width {
+                        break;
+                    }
+                    if Some(w) == self.last_issued {
+                        continue;
+                    }
+                    if self.try_issue_warp(w, now) {
+                        self.last_issued = Some(w);
+                        issued += 1;
+                    }
+                }
+                self.issue_order = order;
+            }
         }
 
         if issued == 0 {
             self.classify_stall(now);
+        } else {
+            // Warp state changed; the memoized classification is stale.
+            self.stall_cache = None;
         }
     }
 
@@ -550,6 +613,7 @@ impl SimtCore {
             return;
         }
         warp.finished = true;
+        self.stall_cache = None;
         let cta_slot = warp.cta_slot;
         if let Some(cta) = &mut self.ctas[cta_slot] {
             debug_assert!(cta.live_warps > 0);
@@ -574,6 +638,9 @@ impl SimtCore {
         if let Some(cta) = &mut self.ctas[cta_slot] {
             cta.barrier_arrived = 0;
         }
+        // Released warps become issue candidates again.
+        self.ready_lb = Cycle::ZERO;
+        self.stall_cache = None;
     }
 
     fn classify_stall(&mut self, now: Cycle) {
@@ -586,10 +653,28 @@ impl SimtCore {
     /// only change on issue or response events, and every eligible warp's
     /// `ready_at` lies at or beyond the window end.
     fn classify_stall_many(&mut self, now: Cycle, weight: u64) {
+        if let Some(kind) = self.stall_cache {
+            // Nothing classification-relevant changed since the cached
+            // scan (every such mutation clears the cache), so the class —
+            // and the exact `ready_lb` that scan computed — still hold.
+            // Time alone cannot flip a cached class: a class that outranks
+            // Compute ignores `now` entirely, and a cached Compute class
+            // implies a free issue register, so the first cycle to reach
+            // `ready_lb` issues (or retires) a warp in the scan that runs
+            // before classification, clearing the cache first.
+            self.bump_stall(kind, weight);
+            return;
+        }
         let mut any_assigned = false;
         let mut mem_blocked = false;
         let mut barrier = false;
         let mut compute = false;
+        // The same scan refreshes `ready_lb`: a stalled cycle proves no
+        // warp passes the issue pre-check now, and the earliest it could
+        // is the minimum `ready_at` over warps blocked on time alone.
+        // Warps blocked on memory, barriers or assignment need an external
+        // event first, and every such event resets the bound to zero.
+        let mut ready_lb = Cycle::NEVER;
         for w in &self.warps {
             if !w.assigned || w.finished {
                 continue;
@@ -597,24 +682,42 @@ impl SimtCore {
             any_assigned = true;
             if w.blocked_on_memory() {
                 mem_blocked = true;
-                break;
+                continue;
             }
             if w.at_barrier {
                 barrier = true;
-            } else if w.ready_at > now {
+                continue;
+            }
+            if w.ready_at > now {
                 compute = true;
             }
+            if w.ready_at < ready_lb {
+                ready_lb = w.ready_at;
+            }
         }
-        if mem_blocked {
-            self.stats.stall_memory += weight;
+        self.ready_lb = ready_lb;
+        let kind = if mem_blocked {
+            StallKind::Memory
         } else if any_assigned && self.issue_reg.is_some() {
-            self.stats.stall_mem_pipeline += weight;
+            StallKind::MemPipeline
         } else if barrier {
-            self.stats.stall_barrier += weight;
+            StallKind::Barrier
         } else if compute {
-            self.stats.stall_compute += weight;
+            StallKind::Compute
         } else {
-            self.stats.idle_cycles += weight;
+            StallKind::Idle
+        };
+        self.stall_cache = Some(kind);
+        self.bump_stall(kind, weight);
+    }
+
+    fn bump_stall(&mut self, kind: StallKind, weight: u64) {
+        match kind {
+            StallKind::Memory => self.stats.stall_memory += weight,
+            StallKind::MemPipeline => self.stats.stall_mem_pipeline += weight,
+            StallKind::Barrier => self.stats.stall_barrier += weight,
+            StallKind::Compute => self.stats.stall_compute += weight,
+            StallKind::Idle => self.stats.idle_cycles += weight,
         }
     }
 
@@ -639,16 +742,21 @@ impl SimtCore {
         if earliest.is_some_and(|t| t <= now) {
             return Some(now);
         }
-        for w in &self.warps {
-            if !w.assigned || w.finished || w.at_barrier || w.blocked_on_memory() {
-                continue;
-            }
-            if w.ready_at <= now {
-                return Some(now);
-            }
+        // `ready_lb` substitutes for a warp scan: it is a maintained lower
+        // bound on the earliest cycle any warp can pass the issue
+        // pre-check (exact after a stalled cycle's scan, zero after any
+        // wake-up event), and `NEVER` means no warp is blocked on time
+        // alone — only an external event (which resets the bound) can
+        // create a candidate. Being a lower bound it can only produce
+        // spurious wake-ups, which replay stalled cycles exactly as the
+        // stepped oracle executes them.
+        if self.ready_lb <= now {
+            return Some(now);
+        }
+        if self.ready_lb != Cycle::NEVER {
             earliest = Some(match earliest {
-                Some(e) if e <= w.ready_at => e,
-                _ => w.ready_at,
+                Some(e) if e <= self.ready_lb => e,
+                _ => self.ready_lb,
             });
         }
         earliest
