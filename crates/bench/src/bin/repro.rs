@@ -2,9 +2,9 @@
 //! Bottlenecks in GPGPU Workloads* (IISWC 2016).
 //!
 //! ```text
-//! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE]
-//!       [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N]
-//!       [--wedge-self-test]
+//! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--epoch N|auto]
+//!       [--check FILE] [--min-ratio R] [--floor R] [--profile] [--seeds N]
+//!       [--repeat N] [--wedge-self-test]
 //!       [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]
 //! ```
 //!
@@ -45,6 +45,12 @@
 //! `--json DIR` additionally dumps raw results as JSON.
 //! `--threads LIST` (perf only) sets the parallel thread counts swept,
 //! default `1,2,4`.
+//! `--epoch N|auto` (perf, chaos, trace) selects the parallel engine's
+//! epoch policy: `auto` (the default) lets the engine free-run shards
+//! through the largest provably-safe epoch each round, `N` caps epochs at
+//! `N` cycles, and `1` degenerates to the per-cycle barrier engine. Every
+//! policy is bit-identical to serial stepping; only host throughput
+//! changes. The chosen spelling is recorded in each parallel snapshot row.
 //! `--check FILE` (perf only) compares the measured speedups against a
 //! committed baseline (e.g. `BENCH_PARALLEL.json`) and exits non-zero if
 //! any engine's per-mode geomean speedup regressed below `--min-ratio`
@@ -74,10 +80,33 @@ use gpumem::text;
 use gpumem_sim::{chrome_trace_events, ChaosConfig, LatencyBreakdown, SimError, TraceConfig};
 use gpumem_simt::KernelProgram;
 
+/// The `--epoch` flag: the policy handed to the parallel engine plus the
+/// exact spelling the user gave, recorded verbatim in snapshot rows so a
+/// committed baseline names the engine configuration that produced it.
+#[derive(Clone)]
+struct EpochChoice {
+    spelling: String,
+    policy: EpochPolicy,
+}
+
+impl EpochChoice {
+    fn parse(spec: &str) -> Option<EpochChoice> {
+        let policy = match spec {
+            "auto" => EpochPolicy::Auto,
+            n => EpochPolicy::Fixed(n.parse().ok().filter(|&n| n > 0)?),
+        };
+        Some(EpochChoice {
+            spelling: spec.to_owned(),
+            policy,
+        })
+    }
+}
+
 struct Args {
     scale: f64,
     json_dir: Option<String>,
     threads: Vec<usize>,
+    epoch: EpochChoice,
     check: Option<String>,
     min_ratio: f64,
     floor: Option<f64>,
@@ -92,6 +121,7 @@ fn parse_args() -> Args {
     let mut scale = 1.0;
     let mut json_dir = None;
     let mut threads = vec![1, 2, 4];
+    let mut epoch = EpochChoice::parse("auto").expect("default epoch spec is valid");
     let mut check = None;
     let mut min_ratio = 0.8;
     let mut floor = None;
@@ -131,6 +161,13 @@ fn parse_args() -> Args {
                 if threads.is_empty() {
                     die("--threads needs at least one count");
                 }
+            }
+            "--epoch" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| die("--epoch needs `auto` or a positive cycle count"));
+                epoch = EpochChoice::parse(&spec)
+                    .unwrap_or_else(|| die(&format!("bad --epoch spec {spec:?}")));
             }
             "--check" => {
                 check = Some(it.next().unwrap_or_else(|| die("--check needs a file")));
@@ -177,6 +214,7 @@ fn parse_args() -> Args {
         scale,
         json_dir,
         threads,
+        epoch,
         check,
         min_ratio,
         floor,
@@ -191,8 +229,9 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--check FILE] \
-         [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N] [--wedge-self-test] \
+        "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--epoch N|auto] \
+         [--check FILE] [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N] \
+         [--wedge-self-test] \
          [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]"
     );
     std::process::exit(2)
@@ -266,6 +305,18 @@ fn run_latency(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
 #[derive(serde::Serialize, serde::Deserialize)]
 struct ParallelPoint {
     threads: u64,
+    /// The `--epoch` spelling this point was measured under (`"auto"`,
+    /// `"1"`, …). Pre-epoch baselines deserialize to `None`, which the
+    /// `--check` gate treats as comparable to any current policy (they
+    /// measured the per-cycle engine, the degeneracy every policy must
+    /// beat or match).
+    epoch: Option<String>,
+    /// Epoch rounds the engine actually ran (0 under the per-cycle
+    /// degeneracy) and the largest epoch it committed, from
+    /// [`SimReport::host`]; recorded so a snapshot shows how much
+    /// barrier elision the policy really bought on this workload.
+    epoch_rounds: Option<u64>,
+    max_epoch: Option<u64>,
     wall_s: f64,
     mcyc_per_s: f64,
     /// Wall-clock speedup over the per-cycle stepped reference run.
@@ -324,6 +375,7 @@ fn perf_row(
     program: &Arc<dyn KernelProgram>,
     mode: MemoryMode,
     threads: &[usize],
+    epoch: &EpochChoice,
     repeat: usize,
 ) -> PerfRow {
     let stepped = best_of(repeat, || {
@@ -345,9 +397,11 @@ fn perf_row(
     let parallel = threads
         .iter()
         .map(|&n| {
-            let report = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
-                .run_parallel(gpumem::DEFAULT_MAX_CYCLES, n)
-                .expect("parallel run completes");
+            let report = best_of(repeat, || {
+                GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+                    .run_parallel_with(gpumem::DEFAULT_MAX_CYCLES, n, epoch.policy)
+                    .expect("parallel run completes")
+            });
             assert_eq!(
                 stepped.cycles, report.cycles,
                 "parallel stepping must be observationally invisible"
@@ -355,6 +409,9 @@ fn perf_row(
             let hp = report.host.as_ref().expect("run fills host perf");
             ParallelPoint {
                 threads: n as u64,
+                epoch: Some(epoch.spelling.clone()),
+                epoch_rounds: hp.epoch_rounds,
+                max_epoch: hp.max_epoch,
                 wall_s: hp.wall_seconds,
                 mcyc_per_s: hp.cycles_per_sec / 1e6,
                 speedup: if hp.wall_seconds > 0.0 {
@@ -393,16 +450,18 @@ fn run_perf(
     scale: f64,
     json: &Option<String>,
     threads: &[usize],
+    epoch: &EpochChoice,
     repeat: usize,
 ) -> PerfSummary {
     let mut rows = Vec::new();
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
         for program in suite(scale) {
             eprintln!("perf: {} / {mode} ...", program.name());
-            rows.push(perf_row(cfg, &program, mode, threads, repeat));
+            rows.push(perf_row(cfg, &program, mode, threads, epoch, repeat));
         }
     }
     println!("HOST THROUGHPUT — STEPPING vs SKIPPING vs SHARDED PARALLEL");
+    println!("(parallel engine epoch policy: {})", epoch.spelling);
     print!(
         "{:>10} {:>18} {:>12} {:>11} {:>11} {:>9} {:>9}",
         "benchmark", "mode", "cycles", "step Mc/s", "skip Mc/s", "skipped", "speedup"
@@ -690,33 +749,47 @@ fn check_perf(current: &PerfSummary, baseline_path: &str, min_ratio: f64) {
             min_ratio,
             &mut failed,
         );
-        // Match parallel points by thread count: the current sweep may be
-        // narrower than the baseline's (CI runs a single count).
-        let counts: Vec<u64> = cur_mode()
-            .flat_map(|r| r.parallel.iter().map(|p| p.threads))
+        // Match parallel points by (thread count, epoch policy): the
+        // current sweep may be narrower than the baseline's (CI runs a
+        // single count). A pre-epoch baseline point (`epoch: None`) is
+        // comparable to any current policy — it measured the per-cycle
+        // engine, the degeneracy every policy must beat or match.
+        let counts: Vec<(u64, String)> = cur_mode()
+            .flat_map(|r| {
+                r.parallel
+                    .iter()
+                    .map(|p| (p.threads, p.epoch.clone().unwrap_or_default()))
+            })
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
-        for n in counts {
-            let at = |rows: &mut dyn Iterator<Item = &PerfRow>| -> Vec<(String, f64)> {
-                rows.filter_map(|r| {
-                    r.parallel
-                        .iter()
-                        .find(|p| p.threads == n)
-                        .map(|p| (r.benchmark.clone(), p.speedup))
-                })
-                .collect()
-            };
-            let cur_at = at(&mut cur_mode());
-            let base_at = at(&mut base_mode());
+        for (n, epoch) in counts {
+            let at =
+                |rows: &mut dyn Iterator<Item = &PerfRow>, exact: bool| -> Vec<(String, f64)> {
+                    rows.filter_map(|r| {
+                        r.parallel
+                            .iter()
+                            .find(|p| {
+                                p.threads == n
+                                    && match &p.epoch {
+                                        Some(e) => *e == epoch,
+                                        None => !exact,
+                                    }
+                            })
+                            .map(|p| (r.benchmark.clone(), p.speedup))
+                    })
+                    .collect()
+                };
+            let cur_at = at(&mut cur_mode(), true);
+            let base_at = at(&mut base_mode(), false);
             if base_at.is_empty() {
-                println!("check {filter} parallel×{n}: no baseline, skipped");
+                println!("check {filter} parallel×{n} epoch {epoch}: no baseline, skipped");
                 continue;
             }
             let base_refs: Vec<(&str, f64)> =
                 base_at.iter().map(|(b, v)| (b.as_str(), *v)).collect();
             gate(
-                &format!("{filter} parallel×{n}"),
+                &format!("{filter} parallel×{n} epoch {epoch}"),
                 &pair_rows(cur_at.iter().map(|(b, v)| (b.as_str(), *v)), &base_refs),
                 min_ratio,
                 &mut failed,
@@ -753,12 +826,13 @@ fn chaos_run(
     program: &Arc<dyn KernelProgram>,
     chaos: ChaosConfig,
     parallel_threads: Option<usize>,
+    policy: EpochPolicy,
 ) -> Result<SimReport, SimError> {
     let mut sim = GpuSimulator::new(cfg.clone(), Arc::clone(program), MemoryMode::Hierarchy);
     sim.set_chaos(chaos);
     sim.set_watchdog(Some(CHAOS_HORIZON));
     match parallel_threads {
-        Some(n) => sim.run_parallel(gpumem::DEFAULT_MAX_CYCLES, n),
+        Some(n) => sim.run_parallel_with(gpumem::DEFAULT_MAX_CYCLES, n, policy),
         None => sim.run_stepped(gpumem::DEFAULT_MAX_CYCLES),
     }
 }
@@ -780,24 +854,26 @@ fn chaos_canonical(outcome: &Result<SimReport, SimError>) -> String {
 /// Seeded chaos sweep: every seed's fault schedule must be bit-identical
 /// across a serial replay and every parallel thread count, whether the
 /// outcome is a completed report or a typed error.
-fn run_chaos(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize]) {
+fn run_chaos(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize], epoch: &EpochChoice) {
     let program = chaos_kernel(scale);
     println!(
-        "CHAOS SWEEP — {seeds} seed(s), standard fault mix, benchmark {}",
-        program.name()
+        "CHAOS SWEEP — {seeds} seed(s), standard fault mix, benchmark {}, epoch {}",
+        program.name(),
+        epoch.spelling
     );
     let mut failed = false;
     for seed in 0..seeds {
         let chaos = ChaosConfig::standard(seed);
-        let first = chaos_run(cfg, &program, chaos, None);
+        let first = chaos_run(cfg, &program, chaos, None, epoch.policy);
         let reference = chaos_canonical(&first);
         let mut ok = true;
-        if chaos_canonical(&chaos_run(cfg, &program, chaos, None)) != reference {
+        if chaos_canonical(&chaos_run(cfg, &program, chaos, None, epoch.policy)) != reference {
             println!("seed {seed}: serial replay diverged from the first run");
             ok = false;
         }
         for &n in threads {
-            if chaos_canonical(&chaos_run(cfg, &program, chaos, Some(n))) != reference {
+            if chaos_canonical(&chaos_run(cfg, &program, chaos, Some(n), epoch.policy)) != reference
+            {
                 println!("seed {seed}: {n}-thread run diverged from the serial reference");
                 ok = false;
             }
@@ -825,14 +901,20 @@ fn run_chaos(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize]) {
 /// Watchdog self-test: wedge the response network on purpose at a seeded
 /// cycle and require every engine to report [`SimError::Wedged`] within
 /// the horizon, with a diagnosis naming the blocked component chain.
-fn run_wedge_self_test(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize]) {
+fn run_wedge_self_test(
+    cfg: &GpuConfig,
+    scale: f64,
+    seeds: u64,
+    threads: &[usize],
+    epoch: &EpochChoice,
+) {
     let program = chaos_kernel(scale);
     println!("WATCHDOG SELF-TEST — {seeds} seeded wedge fixture(s)");
     for seed in 0..seeds {
         let mut chaos = ChaosConfig::standard(seed);
         let wedge_at = 500 + 97 * seed;
         chaos.wedge_at = Some(wedge_at);
-        let diagnosis = match chaos_run(cfg, &program, chaos, None) {
+        let diagnosis = match chaos_run(cfg, &program, chaos, None, epoch.policy) {
             Err(SimError::Wedged { diagnosis }) => diagnosis,
             Err(other) => {
                 eprintln!("error: seed {seed}: expected a wedge diagnosis, got: {other}");
@@ -861,7 +943,7 @@ fn run_wedge_self_test(cfg: &GpuConfig, scale: f64, seeds: u64, threads: &[usize
         // The parallel engine restores the machine before diagnosing, so
         // it must reach the exact same diagnosis.
         for &n in threads {
-            match chaos_run(cfg, &program, chaos, Some(n)) {
+            match chaos_run(cfg, &program, chaos, Some(n), epoch.policy) {
                 Err(SimError::Wedged { diagnosis: par }) if par == diagnosis => {}
                 other => {
                     eprintln!("error: seed {seed}: {n}-thread wedge diagnosis diverged: {other:?}");
@@ -932,7 +1014,13 @@ fn print_breakdown(name: &str, bd: &LatencyBreakdown) {
 /// Fetch-lifecycle latency breakdown over the suite: per-stage tables, the
 /// §III queueing-vs-service split, the stage-sum reconciliation invariant,
 /// and a bit-identity cross-check over all three engines.
-fn run_trace(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usize]) {
+fn run_trace(
+    cfg: &GpuConfig,
+    scale: f64,
+    json: &Option<String>,
+    threads: &[usize],
+    epoch: &EpochChoice,
+) {
     println!("FETCH-LIFECYCLE LATENCY BREAKDOWN — §III queueing vs service decomposition");
     let mut rows = Vec::new();
     for program in suite(scale) {
@@ -953,7 +1041,7 @@ fn run_trace(cfg: &GpuConfig, scale: f64, json: &Option<String>, threads: &[usiz
         }
         for &n in threads {
             let parallel = traced_sim(cfg, &program)
-                .run_parallel(gpumem::DEFAULT_MAX_CYCLES, n)
+                .run_parallel_with(gpumem::DEFAULT_MAX_CYCLES, n, epoch.policy)
                 .expect("traced parallel run completes");
             if trace_canonical(&parallel) != reference {
                 eprintln!(
@@ -1025,8 +1113,14 @@ fn main() {
             if args.profile {
                 run_profile(&cfg, args.scale, &args.json_dir);
             } else {
-                let summary =
-                    run_perf(&cfg, args.scale, &args.json_dir, &args.threads, args.repeat);
+                let summary = run_perf(
+                    &cfg,
+                    args.scale,
+                    &args.json_dir,
+                    &args.threads,
+                    &args.epoch,
+                    args.repeat,
+                );
                 if let Some(baseline) = &args.check {
                     check_perf(&summary, baseline, args.min_ratio);
                 }
@@ -1035,13 +1129,13 @@ fn main() {
                 }
             }
         }
-        "trace" => run_trace(&cfg, args.scale, &args.json_dir, &args.threads),
+        "trace" => run_trace(&cfg, args.scale, &args.json_dir, &args.threads, &args.epoch),
         "latency" => run_latency(&cfg, args.scale, &args.json_dir),
         "chaos" => {
             if args.wedge_self_test {
-                run_wedge_self_test(&cfg, args.scale, args.seeds, &args.threads);
+                run_wedge_self_test(&cfg, args.scale, args.seeds, &args.threads, &args.epoch);
             } else {
-                run_chaos(&cfg, args.scale, args.seeds, &args.threads);
+                run_chaos(&cfg, args.scale, args.seeds, &args.threads, &args.epoch);
             }
         }
         "all" => {

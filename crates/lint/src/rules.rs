@@ -357,13 +357,23 @@ pub fn run(file: &str, code: &[Token], is_test: bool) -> Vec<Diagnostic> {
     diags
 }
 
-/// Token-level `take_ports`/`restore_ports` pairing inside each `fn` body.
+/// The take/restore pairs the crossbar snapshot APIs expose: whole-port
+/// dismantling (`take_ports`) and the epoch landing-schedule snapshot
+/// (`take_landings`). Both hand fabric-owned state to the caller, so both
+/// must be returned on every path out.
+const SNAPSHOT_PAIRS: &[(&str, &str)] = &[
+    ("take_ports", "restore_ports"),
+    ("take_landings", "restore_landings"),
+];
+
+/// Token-level take/restore pairing inside each `fn` body, for every
+/// snapshot API in [`SNAPSHOT_PAIRS`].
 ///
-/// Within one body, in token order: each `take_ports` call raises the
-/// outstanding count, each `restore_ports` lowers it, and while the count is
-/// positive any `return` or `?` is an early exit that leaks the crossbar's
-/// ports. The count must return to zero by the closing brace. Definition
-/// sites (`fn take_ports`) are ignored.
+/// Within one body, in token order: each take call raises that pair's
+/// outstanding count, each restore lowers it, and while any count is
+/// positive a `return` or `?` is an early exit that leaks fabric state.
+/// Every count must return to zero by the closing brace. Definition sites
+/// (`fn take_ports`) are ignored.
 fn port_pairing(file: &str, code: &[Token]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut i = 0;
@@ -395,66 +405,77 @@ fn port_pairing(file: &str, code: &[Token]) -> Vec<Diagnostic> {
             i += 1;
             continue;
         };
-        let mut outstanding: i64 = 0;
-        let mut last_take_line = code[i].line;
+        let mut outstanding = [0i64; SNAPSHOT_PAIRS.len()];
+        let mut last_take_line = [code[i].line; SNAPSHOT_PAIRS.len()];
         for k in open..close {
             match &code[k].tok {
-                Tok::Ident(name)
-                    if name == "take_ports" && ident_at(code, k.wrapping_sub(1)) != Some("fn") =>
-                {
-                    outstanding += 1;
-                    last_take_line = code[k].line;
+                Tok::Ident(name) => {
+                    if ident_at(code, k.wrapping_sub(1)) != Some("fn") {
+                        for (p, &(take, restore)) in SNAPSHOT_PAIRS.iter().enumerate() {
+                            if name == take {
+                                outstanding[p] += 1;
+                                last_take_line[p] = code[k].line;
+                            } else if name == restore {
+                                outstanding[p] -= 1;
+                            }
+                        }
+                    }
+                    if name == "return" {
+                        for (p, &(take, restore)) in SNAPSHOT_PAIRS.iter().enumerate() {
+                            if outstanding[p] > 0 {
+                                diags.push(Diagnostic::error(
+                                    file,
+                                    code[k].line,
+                                    PORT_PAIRING,
+                                    format!("`return` while {take} state is held"),
+                                    format!(
+                                        "{restore} before every exit path (taken at line \
+                                         {}); the parallel engine requires the \
+                                         fabric to get its state back",
+                                        last_take_line[p]
+                                    ),
+                                ));
+                            }
+                        }
+                    }
                 }
-                Tok::Ident(name)
-                    if name == "restore_ports"
-                        && ident_at(code, k.wrapping_sub(1)) != Some("fn") =>
-                {
-                    outstanding -= 1;
-                }
-                Tok::Ident(name) if name == "return" && outstanding > 0 => {
-                    diags.push(Diagnostic::error(
-                        file,
-                        code[k].line,
-                        PORT_PAIRING,
-                        "`return` while crossbar ports are taken",
-                        format!(
-                            "restore_ports before every exit path (taken at line \
-                             {last_take_line}); the parallel engine requires the \
-                             fabric to get its ports back"
-                        ),
-                    ));
-                }
-                Tok::Punct('?') if outstanding > 0 => {
-                    diags.push(Diagnostic::error(
-                        file,
-                        code[k].line,
-                        PORT_PAIRING,
-                        "`?` may exit while crossbar ports are taken",
-                        format!(
-                            "restore_ports before propagating errors (taken at line \
-                             {last_take_line})"
-                        ),
-                    ));
+                Tok::Punct('?') => {
+                    for (p, &(take, restore)) in SNAPSHOT_PAIRS.iter().enumerate() {
+                        if outstanding[p] > 0 {
+                            diags.push(Diagnostic::error(
+                                file,
+                                code[k].line,
+                                PORT_PAIRING,
+                                format!("`?` may exit while {take} state is held"),
+                                format!(
+                                    "{restore} before propagating errors (taken at line {})",
+                                    last_take_line[p]
+                                ),
+                            ));
+                        }
+                    }
                 }
                 _ => {}
             }
         }
-        if outstanding > 0 {
-            diags.push(Diagnostic::error(
-                file,
-                last_take_line,
-                PORT_PAIRING,
-                "take_ports without a matching restore_ports in this function",
-                "call restore_ports on the same crossbar before the function returns",
-            ));
-        } else if outstanding < 0 {
-            diags.push(Diagnostic::error(
-                file,
-                code[open].line,
-                PORT_PAIRING,
-                "restore_ports without a preceding take_ports in this function",
-                "take_ports and restore_ports must pair within one function body",
-            ));
+        for (p, &(take, restore)) in SNAPSHOT_PAIRS.iter().enumerate() {
+            if outstanding[p] > 0 {
+                diags.push(Diagnostic::error(
+                    file,
+                    last_take_line[p],
+                    PORT_PAIRING,
+                    format!("{take} without a matching {restore} in this function"),
+                    format!("call {restore} on the same crossbar before the function returns"),
+                ));
+            } else if outstanding[p] < 0 {
+                diags.push(Diagnostic::error(
+                    file,
+                    code[open].line,
+                    PORT_PAIRING,
+                    format!("{restore} without a preceding {take} in this function"),
+                    format!("{take} and {restore} must pair within one function body"),
+                ));
+            }
         }
         // Continue scanning after the `fn` keyword so nested items are still
         // visited (their tokens are counted in the enclosing body too, which

@@ -1,0 +1,30 @@
+// Fixture: epoch landing-schedule discipline violations.
+//
+// `leak` snapshots an egress port's landings and never restores them;
+// `early_exit` restores on the happy path but propagates an error while
+// the schedule is still out. `balanced` and `balanced_fallible` (which
+// restores before the `?`) stay silent.
+
+pub fn leak(out: &mut EgressPort, until: Cycle) -> usize {
+    let sched = out.take_landings(until);
+    sched.len()
+}
+
+pub fn early_exit(out: &mut EgressPort, until: Cycle) -> Result<(), E> {
+    let mut sched = out.take_landings(until);
+    sched.land_into(until, out)?;
+    out.restore_landings(sched);
+    Ok(())
+}
+
+pub fn balanced(out: &mut EgressPort, until: Cycle) {
+    let sched = out.take_landings(until);
+    out.restore_landings(sched);
+}
+
+pub fn balanced_fallible(out: &mut EgressPort, until: Cycle) -> Result<(), E> {
+    let sched = out.take_landings(until);
+    out.restore_landings(sched);
+    fallible()?;
+    Ok(())
+}

@@ -63,6 +63,17 @@ fn port_leak_fixture() {
 }
 
 #[test]
+fn landing_leak_fixture() {
+    let d = lint_fixture("landing_leak.rs");
+    let leaks = rule_lines(&d, "port-pairing");
+    // `leak` (take_landings at line 9, never restored), `early_exit`
+    // (`?` at line 15 while the schedule is out). `balanced` and
+    // `balanced_fallible` stay silent.
+    assert_eq!(leaks, [9, 15], "findings: {d:?}");
+    assert_eq!(d.len(), 2, "nothing else fires: {d:?}");
+}
+
+#[test]
 fn allowed_fixture_is_clean() {
     let d = lint_fixture("allowed_ok.rs");
     assert!(d.is_empty(), "allowlisted sites must not fire: {d:?}");

@@ -91,6 +91,32 @@ impl IngressPort {
         }
     }
 
+    /// A detached buffer that is never arbitrated by any fabric: the
+    /// epoch-synchronized parallel engine hands one to each partition
+    /// shard so the shard can free-run `MemoryPartition::cycle` (which
+    /// wants an ingress port to inject responses into) against private
+    /// state, then [`drain`](IngressPort::drain)s it into the shard's
+    /// epoch mailbox every local cycle.
+    pub fn scratch(capacity: usize, dest_limit: usize) -> Self {
+        IngressPort {
+            queue: SimQueue::new("noc_input", capacity.max(1)),
+            dest_limit,
+            injected: 0,
+            held_until: Cycle::ZERO,
+            head_dest: usize::MAX,
+        }
+    }
+
+    /// Removes and returns the head packet (epoch-mailbox drain; the
+    /// fabric never sees a scratch port, so the shard pops it directly).
+    pub fn drain(&mut self) -> Option<Packet> {
+        let pkt = self.queue.pop();
+        if pkt.is_some() {
+            self.refresh_head();
+        }
+        pkt
+    }
+
     /// Re-derives the mirrored head destination from the queue front.
     fn refresh_head(&mut self) {
         self.head_dest = self.queue.front().map_or(usize::MAX, |p| p.dest);
@@ -261,6 +287,106 @@ impl EgressPort {
     /// Occupancy statistics of this ejection queue.
     pub fn queue_stats(&self) -> &QueueStats {
         self.ejection.stats()
+    }
+
+    /// Ejection credits currently available on this port.
+    pub fn credits(&self) -> usize {
+        self.credits
+    }
+
+    /// Overwrites the credit count. The epoch engine snapshots credits
+    /// before a shard free-runs (popping ejected packets returns credits
+    /// shard-side) and resets them before replaying the epoch's fabric
+    /// ticks, so each credit return is observed exactly once and at the
+    /// serial-equivalent cycle.
+    pub fn set_credits(&mut self, credits: usize) {
+        self.credits = credits;
+    }
+
+    /// Splits off every in-flight packet arriving strictly before
+    /// `until` as a [`LandingSchedule`] the owning shard lands locally
+    /// while the fabric is quiescent. Must be paired with
+    /// [`restore_landings`](EgressPort::restore_landings) on every exit
+    /// path (simlint enforces the pairing, like take/restore_ports).
+    ///
+    /// Arrival cycles of packets claimed during the epoch replay are at
+    /// least `epoch start + hop latency`, so as long as `until` does not
+    /// exceed that bound the schedule is complete: no replayed tick can
+    /// add a landing the shard should have seen.
+    pub fn take_landings(&mut self, until: Cycle) -> LandingSchedule {
+        let mut entries = VecDeque::new();
+        while let Some(&(arrive, _)) = self.in_flight.front() {
+            if arrive >= until {
+                break;
+            }
+            if let Some(entry) = self.in_flight.pop_front() {
+                entries.push_back(entry);
+            }
+        }
+        LandingSchedule { entries }
+    }
+
+    /// Returns the unlanded remainder of a [`LandingSchedule`] to the
+    /// front of the hop pipeline, preserving arrival order (every
+    /// remaining entry predates anything the replayed ticks pushed).
+    pub fn restore_landings(&mut self, schedule: LandingSchedule) {
+        let LandingSchedule { mut entries } = schedule;
+        while let Some(entry) = entries.pop_back() {
+            self.in_flight.push_front(entry);
+        }
+    }
+}
+
+/// In-flight packets split off an [`EgressPort`] for one epoch, with
+/// their arrival cycles. The owning shard lands them into the ejection
+/// queue cycle by cycle via [`land_into`](LandingSchedule::land_into),
+/// mirroring the fabric's own landing step bit for bit.
+#[derive(Debug, Default)]
+pub struct LandingSchedule {
+    entries: VecDeque<(Cycle, Packet)>,
+}
+
+impl LandingSchedule {
+    /// Lands every packet due at or before `now` into `port`'s ejection
+    /// queue, exactly as [`CrossbarFabric::tick`]'s landing step would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QueueOverflow`] if a landing packet finds the
+    /// ejection queue full — a credit-accounting invariant violation,
+    /// identical to the fabric's own landing error.
+    pub fn land_into(&mut self, now: Cycle, port: &mut EgressPort) -> Result<(), SimError> {
+        while matches!(
+            self.entries.front(),
+            Some((arrive, _)) if *arrive <= now && !port.ejection.is_full()
+        ) {
+            let Some((_, pkt)) = self.entries.pop_front() else {
+                break;
+            };
+            if port.ejection.push(pkt).is_err() {
+                return Err(SimError::QueueOverflow {
+                    cycle: now.raw(),
+                    component: "crossbar",
+                    queue: "noc_ejection",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every scheduled landing has been delivered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scheduled landings not yet delivered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Earliest scheduled arrival, if any.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.entries.front().map(|&(arrive, _)| arrive)
     }
 }
 
@@ -999,5 +1125,99 @@ mod tests {
         assert!(x.is_idle());
         assert_eq!(x.stats().packets_injected, 1);
         assert_eq!(x.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn take_landings_lands_at_the_fabric_equivalent_cycle() {
+        let mut x = Crossbar::new(1, 2, &cfg());
+        // Single-flit packet: claimed and fully streamed at cycle 0,
+        // entering the hop pipeline with arrival = 0 + hop_latency (2).
+        x.try_inject(0, pkt(1, 1, 1)).unwrap();
+        x.tick(Cycle::ZERO).unwrap();
+        let (ins, mut outs) = x.take_ports();
+        let mut sched = outs[1].take_landings(Cycle::new(4));
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched.next_arrival(), Some(Cycle::new(2)));
+        // Before the arrival cycle nothing lands; at it, the packet does.
+        sched.land_into(Cycle::new(1), &mut outs[1]).unwrap();
+        assert!(outs[1].peek_ejected().is_none());
+        sched.land_into(Cycle::new(2), &mut outs[1]).unwrap();
+        assert!(sched.is_empty());
+        assert_eq!(outs[1].pop_ejected().unwrap().fetch.id, FetchId::new(1));
+        outs[1].restore_landings(sched);
+        x.restore_ports(ins, outs);
+        assert!(x.is_idle());
+    }
+
+    #[test]
+    fn take_landings_excludes_arrivals_at_or_past_the_bound() {
+        let mut x = Crossbar::new(1, 2, &cfg());
+        x.try_inject(0, pkt(1, 1, 1)).unwrap();
+        x.tick(Cycle::ZERO).unwrap(); // in flight, arrives at cycle 2
+        let (ins, mut outs) = x.take_ports();
+        let sched = outs[1].take_landings(Cycle::new(2));
+        assert!(sched.is_empty());
+        outs[1].restore_landings(sched);
+        x.restore_ports(ins, outs);
+        // The packet still lands through the normal fabric path.
+        run(&mut x, Cycle::new(1), 4);
+        assert_eq!(x.pop_ejected(1).unwrap().fetch.id, FetchId::new(1));
+        assert!(x.is_idle());
+    }
+
+    #[test]
+    fn restore_landings_preserves_arrival_order() {
+        let mut x = Crossbar::new(1, 1, &cfg());
+        // Two single-flit packets to the same output: claimed at cycles
+        // 0 and 1, arriving at cycles 2 and 3.
+        x.try_inject(0, pkt(1, 0, 1)).unwrap();
+        x.try_inject(0, pkt(2, 0, 1)).unwrap();
+        x.tick(Cycle::ZERO).unwrap();
+        x.tick(Cycle::new(1)).unwrap();
+        let (ins, mut outs) = x.take_ports();
+        let mut sched = outs[0].take_landings(Cycle::new(4));
+        assert_eq!(sched.len(), 2);
+        // Land only the first, restore the rest: order must survive.
+        sched.land_into(Cycle::new(2), &mut outs[0]).unwrap();
+        assert_eq!(sched.len(), 1);
+        outs[0].restore_landings(sched);
+        x.restore_ports(ins, outs);
+        assert_eq!(x.pop_ejected(0).unwrap().fetch.id, FetchId::new(1));
+        run(&mut x, Cycle::new(2), 4);
+        assert_eq!(x.pop_ejected(0).unwrap().fetch.id, FetchId::new(2));
+        assert!(x.is_idle());
+    }
+
+    #[test]
+    fn credit_snapshot_roundtrip_neutralizes_shard_side_returns() {
+        let mut x = Crossbar::new(1, 1, &cfg());
+        x.try_inject(0, pkt(1, 0, 1)).unwrap();
+        run(&mut x, Cycle::ZERO, 4); // delivered into the ejection queue
+        let (ins, mut outs) = x.take_ports();
+        let before = outs[0].credits();
+        let c = outs[0].pop_ejected();
+        assert!(c.is_some());
+        assert_eq!(outs[0].credits(), before + 1);
+        // The epoch coordinator rewinds the shard-side credit return and
+        // replays it through the serial-order credit path instead.
+        outs[0].set_credits(before);
+        assert_eq!(outs[0].credits(), before);
+        outs[0].set_credits(before + 1);
+        x.restore_ports(ins, outs);
+        assert!(x.is_idle());
+    }
+
+    #[test]
+    fn scratch_port_buffers_and_drains_fifo() {
+        let mut scratch = IngressPort::scratch(2, 4);
+        assert!(scratch.can_inject());
+        scratch.try_inject(pkt(1, 3, 1)).unwrap();
+        scratch.try_inject(pkt(2, 0, 1)).unwrap();
+        assert!(!scratch.can_inject());
+        assert_eq!(scratch.drain().unwrap().fetch.id, FetchId::new(1));
+        assert_eq!(scratch.drain().unwrap().fetch.id, FetchId::new(2));
+        assert!(scratch.drain().is_none());
+        assert!(scratch.is_empty());
+        assert!(scratch.can_inject());
     }
 }

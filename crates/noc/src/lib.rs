@@ -22,5 +22,7 @@
 mod crossbar;
 mod packet;
 
-pub use crossbar::{Crossbar, CrossbarFabric, CrossbarStats, EgressPort, IngressPort};
+pub use crossbar::{
+    Crossbar, CrossbarFabric, CrossbarStats, EgressPort, IngressPort, LandingSchedule,
+};
 pub use packet::Packet;

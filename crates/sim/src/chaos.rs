@@ -177,6 +177,30 @@ impl ChaosEngine {
         self.config.worker_panic_at
     }
 
+    /// The earliest cycle at which this engine can next mutate machine
+    /// state: the minimum over every enabled event stream's next fire
+    /// time and the wedge fixture (if not yet applied). `u64::MAX` when
+    /// nothing is pending. After `apply(now, ..)` every stream's next
+    /// fire is strictly past `now`, so the epoch engine can free-run
+    /// through `[now + 1, next_chaos_fire())` without missing a fault.
+    /// The worker-panic fixture is deliberately excluded — it belongs to
+    /// the parallel harness, not the machine, and the harness clamps on
+    /// it separately.
+    pub(crate) fn next_chaos_fire(&self) -> u64 {
+        let mut next = self
+            .port_delay
+            .next_at
+            .min(self.drop_reinject.next_at)
+            .min(self.mshr_stall.next_at)
+            .min(self.dram_lockout.next_at);
+        if !self.wedge_applied {
+            if let Some(w) = self.config.wedge_at {
+                next = next.min(w);
+            }
+        }
+        next
+    }
+
     /// Applies every fault due at `now`. `req_ins` / `resp_ins` are the
     /// ingress ports of the request and response crossbars and `parts` the
     /// memory partitions, each in global index order.
@@ -235,6 +259,30 @@ impl ChaosEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_chaos_fire_tracks_streams_and_wedge() {
+        let quiet = ChaosEngine::new(ChaosConfig::disabled(0));
+        assert_eq!(quiet.next_chaos_fire(), u64::MAX);
+
+        let mut cfg = ChaosConfig::disabled(0);
+        cfg.wedge_at = Some(42);
+        let mut e = ChaosEngine::new(cfg);
+        assert_eq!(e.next_chaos_fire(), 42);
+        e.wedge_applied = true;
+        assert_eq!(e.next_chaos_fire(), u64::MAX);
+
+        let mut e = ChaosEngine::new(ChaosConfig::standard(7));
+        // Advancing every stream past `t` leaves the next fire strictly
+        // in the future — the invariant the epoch clamp relies on.
+        for t in 0..200 {
+            e.port_delay.fires(t);
+            e.drop_reinject.fires(t);
+            e.mshr_stall.fires(t);
+            e.dram_lockout.fires(t);
+            assert!(e.next_chaos_fire() > t);
+        }
+    }
 
     /// Drains the timing streams only (no machine handles needed) and
     /// records which cycles fired which kinds.

@@ -94,10 +94,18 @@ impl FixedLatencyMemory {
 
     /// Takes the next response due at or before `now`, if any.
     pub fn pop_due(&mut self, now: Cycle) -> Option<MemFetch> {
+        self.pop_due_at(now).map(|(_, fetch)| fetch)
+    }
+
+    /// Like [`pop_due`](FixedLatencyMemory::pop_due), but also returns
+    /// the cycle the response came due. The epoch engine pre-drains every
+    /// response due inside an epoch into per-core inboxes and needs the
+    /// due cycle to deliver each at its serial-equivalent local cycle.
+    pub fn pop_due_at(&mut self, now: Cycle) -> Option<(Cycle, MemFetch)> {
         if self.pending.peek().is_some_and(|d| d.at <= now) {
             let due = self.pending.pop()?;
             self.loads_served += 1;
-            Some(due.fetch)
+            Some((due.at, due.fetch))
         } else {
             None
         }

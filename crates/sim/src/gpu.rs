@@ -14,6 +14,7 @@ use gpumem_types::{
 };
 
 use crate::chaos::{ChaosConfig, ChaosEngine};
+use crate::parallel::EpochPolicy;
 use crate::report::{build_report, HostPerf};
 use crate::watchdog::Watchdog;
 use crate::{FixedLatencyMemory, MemoryPartition, SimReport};
@@ -408,32 +409,59 @@ impl GpuSimulator {
                 0.0
             },
             threads: 1,
+            epoch_rounds: None,
+            epoch_cycles: None,
+            max_epoch: None,
         });
         Ok(report)
     }
 
     /// Runs cycle by cycle like [`run_stepped`](GpuSimulator::run_stepped)
-    /// but shards each cycle across `threads` persistent worker threads:
+    /// but shards the machine across `threads` persistent worker threads:
     /// cores (with their L1s) and memory partitions (L2 slice + DRAM
-    /// channel) step concurrently against the crossbar state left by the
-    /// previous cycle, and the crossbar itself ticks serially at the
-    /// barrier between the two phases.
+    /// channel) step concurrently, with the crossbars the sole
+    /// synchronization boundary. With the default
+    /// [`EpochPolicy::Auto`] the engine free-runs shards through
+    /// multi-cycle epochs bounded by the crossbar hop latency and
+    /// synchronizes only at epoch boundaries (see
+    /// [`run_parallel_with`](GpuSimulator::run_parallel_with)).
     ///
     /// Deterministic by construction: every buffered injection is
     /// committed in fixed shard order at the barrier, so the resulting
     /// [`SimReport`] is bit-identical to `run_stepped` (modulo the
     /// host-side [`SimReport::host`] block) for every `threads` value.
-    /// `threads <= 1` delegates to `run_stepped` directly.
     ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] if completion is not reached within
     /// `max_cycles`.
     pub fn run_parallel(&mut self, max_cycles: u64, threads: usize) -> Result<SimReport, SimError> {
-        if threads <= 1 {
-            return self.run_stepped(max_cycles);
-        }
-        crate::parallel::run(self, max_cycles, threads)
+        self.run_parallel_with(max_cycles, threads, EpochPolicy::Auto)
+    }
+
+    /// [`run_parallel`](GpuSimulator::run_parallel) with an explicit
+    /// epoch policy: [`EpochPolicy::PerCycle`] barriers every cycle (the
+    /// pre-epoch engine, kept as the bit-identity degeneracy),
+    /// [`EpochPolicy::Fixed(n)`](EpochPolicy::Fixed) caps epochs at `n`
+    /// cycles, and [`EpochPolicy::Auto`] lets the engine pick the
+    /// largest provably-safe epoch each round. The policy only caps the
+    /// epoch length — safety clamps (cross-shard latency, chaos
+    /// schedules, watchdog horizon, CTA retirement, port headroom) are
+    /// always applied — so the report is bit-identical to
+    /// `run_stepped()` under every policy. `threads <= 1` runs the same
+    /// epoch engine on the calling thread with no barriers at all.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if completion is not reached within
+    /// `max_cycles`.
+    pub fn run_parallel_with(
+        &mut self,
+        max_cycles: u64,
+        threads: usize,
+        policy: EpochPolicy,
+    ) -> Result<SimReport, SimError> {
+        crate::parallel::run(self, max_cycles, threads.max(1), policy)
     }
 
     /// The earliest cycle at or after [`now`](GpuSimulator::now) at which

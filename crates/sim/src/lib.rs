@@ -67,6 +67,7 @@ pub use chaos::ChaosConfig;
 pub use events::EngineProfile;
 pub use fixed::FixedLatencyMemory;
 pub use gpu::{GpuSimulator, MemoryMode, SkipPolicy};
+pub use parallel::EpochPolicy;
 pub use partition::{L2Stats, MemoryPartition, PartitionTrace};
 pub use report::{DramReport, HostPerf, L1Report, L2Report, NocReport, SimReport};
 pub use sched::TimingWheel;

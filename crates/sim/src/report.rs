@@ -87,6 +87,15 @@ pub struct HostPerf {
     pub skipped_fraction: f64,
     /// Worker threads the run used (1 for the serial engines).
     pub threads: u64,
+    /// Synchronization rounds the epoch parallel engine ran (absent for
+    /// the serial engines; one round covers one epoch or one legacy
+    /// per-cycle step).
+    pub epoch_rounds: Option<u64>,
+    /// Cycles covered by multi-cycle epochs (free-run, two barriers per
+    /// epoch) as opposed to legacy per-cycle rounds.
+    pub epoch_cycles: Option<u64>,
+    /// Largest safe epoch length the engine computed during the run.
+    pub max_epoch: Option<u64>,
 }
 
 /// Everything measured in one simulation run.
@@ -324,6 +333,9 @@ mod tests {
                 skipped_cycles: 4,
                 skipped_fraction: 0.4,
                 threads: 1,
+                epoch_rounds: Some(3),
+                epoch_cycles: Some(4),
+                max_epoch: Some(2),
             }),
             degraded: None,
             latency_breakdown: None,

@@ -8,13 +8,16 @@
 //!
 //! The thread counts exercised default to {1, 2, 4, 8} and can be
 //! overridden via `GPUMEM_DIFF_THREADS` (comma-separated), which is how
-//! the CI matrix pins specific counts.
+//! the CI matrix pins specific counts. The epoch axis defaults to
+//! {1, 2, hop_latency, auto} and can be pinned the same way via
+//! `GPUMEM_DIFF_EPOCH`, so the full threads × epoch grid is covered
+//! across matrix legs.
 
 use std::sync::Arc;
 
 use gpumem::prelude::*;
 use gpumem::DEFAULT_MAX_CYCLES;
-use gpumem_sim::{KernelProgram, SimError};
+use gpumem_sim::{EpochPolicy, KernelProgram, SimError};
 use gpumem_workloads::{params_of, SyntheticKernel, BENCHMARK_NAMES};
 
 fn small_gpu() -> GpuConfig {
@@ -42,6 +45,34 @@ fn diff_threads() -> Vec<usize> {
             .collect(),
         Err(_) => vec![1, 2, 4, 8],
     }
+}
+
+/// Epoch policies the parallel comparisons run at, keyed by the
+/// `GPUMEM_DIFF_EPOCH` spelling used in the CI matrix: `1` and `2` are
+/// fixed epoch lengths, `hop_latency` is the configured cross-shard
+/// latency, `auto` lets the engine derive the length each round.
+fn diff_epochs(cfg: &GpuConfig) -> Vec<(String, EpochPolicy)> {
+    let parse = |s: &str| match s {
+        "1" => EpochPolicy::Fixed(1),
+        "2" => EpochPolicy::Fixed(2),
+        "hop_latency" => EpochPolicy::Fixed(cfg.noc.hop_latency),
+        "auto" => EpochPolicy::Auto,
+        other => panic!("bad GPUMEM_DIFF_EPOCH entry {other:?}"),
+    };
+    let spellings: Vec<String> = match std::env::var("GPUMEM_DIFF_EPOCH") {
+        Ok(s) => s.split(',').map(|t| t.trim().to_owned()).collect(),
+        Err(_) => ["1", "2", "hop_latency", "auto"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+    };
+    spellings
+        .into_iter()
+        .map(|s| {
+            let policy = parse(&s);
+            (s, policy)
+        })
+        .collect()
 }
 
 /// Serializes a report with the host block removed (it legitimately
@@ -72,19 +103,30 @@ fn assert_differential(cfg: &GpuConfig, name: &str, mode: MemoryMode) {
     );
 
     for threads in diff_threads() {
-        let mut par = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
-        let report = par.run_parallel(DEFAULT_MAX_CYCLES, threads).unwrap();
-        assert_eq!(
-            report.host.as_ref().map(|h| h.threads),
-            Some(threads.max(1) as u64),
-            "{name}/{mode}: host block must record the thread count"
-        );
-        assert_eq!(
-            canonical(report),
-            reference,
-            "{name}/{mode}: parallel run at {threads} threads diverged \
-             from per-cycle reference"
-        );
+        for (spelling, policy) in diff_epochs(cfg) {
+            let mut par = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode);
+            let report = par
+                .run_parallel_with(DEFAULT_MAX_CYCLES, threads, policy)
+                .unwrap();
+            assert_eq!(
+                report.host.as_ref().map(|h| h.threads),
+                Some(threads.max(1) as u64),
+                "{name}/{mode}: host block must record the thread count"
+            );
+            assert!(
+                report
+                    .host
+                    .as_ref()
+                    .is_some_and(|h| h.epoch_rounds.is_some()),
+                "{name}/{mode}: host block must record epoch accounting"
+            );
+            assert_eq!(
+                canonical(report),
+                reference,
+                "{name}/{mode}: parallel run at {threads} threads, \
+                 epoch {spelling} diverged from per-cycle reference"
+            );
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use gpumem::prelude::*;
-use gpumem_sim::KernelProgram;
+use gpumem_sim::{EpochPolicy, KernelProgram};
 use gpumem_workloads::{AccessPattern, SyntheticKernel, WorkloadParams};
 use proptest::prelude::*;
 
@@ -138,6 +138,45 @@ proptest! {
         let (ctas, warps, iters, loads, lines, pat) = knobs;
         let p = workload(ctas, warps, iters, loads, lines, pat, l1_reuse, barrier, seed);
         assert_parallel_invisible(&p, MemoryMode::Hierarchy, threads);
+    }
+
+    /// Epoch-mailbox delivery order must be a function of the machine
+    /// alone, never of worker scheduling: the same workload sharded over
+    /// different worker counts (and so different shard→worker maps and
+    /// free-run interleavings) must produce byte-identical reports at the
+    /// same epoch policy, because mailboxes are drained in total
+    /// shard-id-then-cycle merge order at every barrier.
+    #[test]
+    fn epoch_mailbox_order_is_independent_of_worker_scheduling(
+        knobs in (1u32..4, 1u32..3, 1u32..6, 0u32..3, 1u32..9, 0u8..4),
+        l1_reuse in 0.0f64..0.5,
+        epoch in prop_oneof![
+            (2u64..10).prop_map(EpochPolicy::Fixed),
+            Just(EpochPolicy::Auto),
+        ],
+        seed in 0u64..u64::MAX,
+    ) {
+        let (ctas, warps, iters, loads, lines, pat) = knobs;
+        let p = workload(ctas, warps, iters, loads, lines, pat, l1_reuse, false, seed);
+        let cfg = tiny_gpu();
+        let program: Arc<dyn KernelProgram> = Arc::new(SyntheticKernel::new(p));
+        let mut baseline: Option<String> = None;
+        for threads in [1usize, 2, 3, 5] {
+            let mut sim = GpuSimulator::new(cfg.clone(), Arc::clone(&program), MemoryMode::Hierarchy);
+            let mut report = sim
+                .run_parallel_with(CYCLE_CAP, threads, epoch)
+                .expect("parallel run finishes");
+            report.host = None;
+            let json = serde_json::to_string(&report).unwrap();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(want) => prop_assert_eq!(
+                    &json, want,
+                    "worker count {} reordered epoch-mailbox delivery under {:?}",
+                    threads, epoch
+                ),
+            }
+        }
     }
 
     #[test]
