@@ -98,8 +98,14 @@ impl Allowlist {
                     file,
                     d.line,
                     UNUSED_ALLOW,
-                    format!("simlint::allow({}) suppresses nothing", d.rule),
-                    "delete the stale directive",
+                    format!(
+                        "stale simlint::allow({rule}): no {rule} finding on line {l} or {n}",
+                        rule = d.rule,
+                        l = d.line,
+                        n = d.line + 1
+                    ),
+                    "the rule this directive suppresses no longer fires here; delete the \
+                     stale directive",
                 ));
             }
         }

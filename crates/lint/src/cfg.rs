@@ -1,0 +1,356 @@
+//! Branch-aware control-flow graphs over the parser's statement trees.
+//!
+//! One graph per function. Nodes are statements (or condition/scrutinee
+//! evaluations); edges follow `if`/`else`, `match` arms, loop back edges,
+//! `break`/`continue`, `return`, and the implicit early exit of every `?`
+//! operator. Node 0 is the synthetic exit; the analyses ask reachability
+//! questions ("can an allocation reach the exit without passing a use?")
+//! rather than interpreting statements.
+
+use crate::parser::{Block, ExprInfo, FnDef, Stmt};
+
+/// Control-flow graph of one function. Node 0 is the exit.
+pub struct Cfg<'a> {
+    /// All nodes; index 0 is the synthetic exit.
+    pub nodes: Vec<Node<'a>>,
+    /// Index of the function's entry node.
+    pub entry: usize,
+}
+
+/// The synthetic exit node's index.
+pub const EXIT: usize = 0;
+
+/// One CFG node: the expressions evaluated there, the names it binds, and
+/// its successors.
+#[derive(Default)]
+pub struct Node<'a> {
+    /// Expressions evaluated at this node.
+    pub exprs: Vec<&'a ExprInfo>,
+    /// Names bound at this node (a `let` pattern or loop/arm pattern).
+    pub defs: Vec<String>,
+    /// 1-based source line the node anchors to (0 for synthetic nodes).
+    pub line: u32,
+    /// Successor node indices.
+    pub succs: Vec<usize>,
+}
+
+struct LoopCtx {
+    continue_to: usize,
+    breaks: Vec<usize>,
+}
+
+struct Builder<'a> {
+    nodes: Vec<Node<'a>>,
+    loops: Vec<LoopCtx>,
+}
+
+/// Builds the CFG for one function.
+pub fn build(f: &FnDef) -> Cfg<'_> {
+    let mut b = Builder {
+        nodes: vec![Node::default()], // exit
+        loops: Vec::new(),
+    };
+    let (entry, ends) = b.lower_block(&f.body);
+    for e in ends {
+        b.edge(e, EXIT);
+    }
+    Cfg {
+        nodes: b.nodes,
+        entry: entry.unwrap_or(EXIT),
+    }
+}
+
+impl<'a> Builder<'a> {
+    fn node(&mut self, exprs: Vec<&'a ExprInfo>, defs: Vec<String>, line: u32) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            exprs,
+            defs,
+            line,
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+    }
+
+    /// Adds the implicit `?` early-exit edge if any expression at the node
+    /// contains a try operator.
+    fn try_edge(&mut self, id: usize) {
+        if self.nodes[id].exprs.iter().any(|e| e.has_try) {
+            self.edge(id, EXIT);
+        }
+    }
+
+    /// Lowers a block; returns (entry node, open ends that fall through to
+    /// whatever follows the block).
+    fn lower_block(&mut self, block: &'a Block) -> (Option<usize>, Vec<usize>) {
+        let mut entry = None;
+        let mut open: Vec<usize> = Vec::new();
+        for stmt in &block.stmts {
+            let (s_entry, s_ends) = self.lower_stmt(stmt);
+            let Some(s_entry) = s_entry else { continue };
+            if entry.is_none() {
+                entry = Some(s_entry);
+            }
+            for o in open {
+                self.edge(o, s_entry);
+            }
+            open = s_ends;
+        }
+        (entry, open)
+    }
+
+    fn lower_stmt(&mut self, stmt: &'a Stmt) -> (Option<usize>, Vec<usize>) {
+        match stmt {
+            Stmt::Let {
+                names,
+                init,
+                else_block,
+                line,
+            } => {
+                let exprs: Vec<_> = init.iter().collect();
+                let id = self.node(exprs, names.clone(), *line);
+                self.try_edge(id);
+                if let Some(blk) = else_block {
+                    // `let … else` diverges; the else body's open ends can
+                    // only be reached if it failed to diverge — route them
+                    // to the exit conservatively.
+                    let (e_entry, e_ends) = self.lower_block(blk);
+                    if let Some(e_entry) = e_entry {
+                        self.edge(id, e_entry);
+                    } else {
+                        self.edge(id, EXIT);
+                    }
+                    for e in e_ends {
+                        self.edge(e, EXIT);
+                    }
+                }
+                (Some(id), vec![id])
+            }
+            Stmt::Expr(e) => {
+                let id = self.node(vec![e], Vec::new(), e.line);
+                self.try_edge(id);
+                (Some(id), vec![id])
+            }
+            Stmt::If {
+                pat,
+                cond,
+                then_blk,
+                else_blk,
+                line,
+            } => {
+                let c = self.node(vec![cond], pat.clone(), *line);
+                self.try_edge(c);
+                let mut ends = Vec::new();
+                let (t_entry, t_ends) = self.lower_block(then_blk);
+                match t_entry {
+                    Some(t) => {
+                        self.edge(c, t);
+                        ends.extend(t_ends);
+                    }
+                    None => ends.push(c),
+                }
+                match else_blk {
+                    Some(blk) => {
+                        let (e_entry, e_ends) = self.lower_block(blk);
+                        match e_entry {
+                            Some(e) => {
+                                self.edge(c, e);
+                                ends.extend(e_ends);
+                            }
+                            None => ends.push(c),
+                        }
+                    }
+                    None => ends.push(c),
+                }
+                (Some(c), ends)
+            }
+            Stmt::Match {
+                scrutinee,
+                arms,
+                line,
+            } => {
+                let s = self.node(vec![scrutinee], Vec::new(), *line);
+                self.try_edge(s);
+                let mut ends = Vec::new();
+                if arms.is_empty() {
+                    ends.push(s);
+                }
+                for arm in arms {
+                    let a = self.node(Vec::new(), arm.pat.clone(), arm.line);
+                    self.edge(s, a);
+                    let (b_entry, b_ends) = self.lower_block(&arm.body);
+                    match b_entry {
+                        Some(b) => {
+                            self.edge(a, b);
+                            ends.extend(b_ends);
+                        }
+                        None => ends.push(a),
+                    }
+                }
+                (Some(s), ends)
+            }
+            Stmt::While {
+                pat,
+                cond,
+                body,
+                line,
+            } => {
+                let c = self.node(vec![cond], pat.clone(), *line);
+                self.try_edge(c);
+                self.loops.push(LoopCtx {
+                    continue_to: c,
+                    breaks: Vec::new(),
+                });
+                let (b_entry, b_ends) = self.lower_block(body);
+                if let Some(b) = b_entry {
+                    self.edge(c, b);
+                }
+                for e in b_ends {
+                    self.edge(e, c);
+                }
+                let ctx = self.loops.pop().expect("loop ctx pushed above");
+                let mut ends = vec![c];
+                ends.extend(ctx.breaks);
+                (Some(c), ends)
+            }
+            Stmt::Loop { body, line } => {
+                let head = self.node(Vec::new(), Vec::new(), *line);
+                self.loops.push(LoopCtx {
+                    continue_to: head,
+                    breaks: Vec::new(),
+                });
+                let (b_entry, b_ends) = self.lower_block(body);
+                if let Some(b) = b_entry {
+                    self.edge(head, b);
+                } else {
+                    self.edge(head, head);
+                }
+                for e in b_ends {
+                    self.edge(e, head);
+                }
+                let ctx = self.loops.pop().expect("loop ctx pushed above");
+                // Only `break` leaves a `loop`.
+                (Some(head), ctx.breaks)
+            }
+            Stmt::For {
+                pat,
+                iter,
+                body,
+                line,
+            } => {
+                let h = self.node(vec![iter], pat.clone(), *line);
+                self.try_edge(h);
+                self.loops.push(LoopCtx {
+                    continue_to: h,
+                    breaks: Vec::new(),
+                });
+                let (b_entry, b_ends) = self.lower_block(body);
+                if let Some(b) = b_entry {
+                    self.edge(h, b);
+                }
+                for e in b_ends {
+                    self.edge(e, h);
+                }
+                let ctx = self.loops.pop().expect("loop ctx pushed above");
+                let mut ends = vec![h];
+                ends.extend(ctx.breaks);
+                (Some(h), ends)
+            }
+            Stmt::Return { value, line } => {
+                let exprs: Vec<_> = value.iter().collect();
+                let id = self.node(exprs, Vec::new(), *line);
+                self.edge(id, EXIT);
+                (Some(id), Vec::new())
+            }
+            Stmt::Break { line } => {
+                let id = self.node(Vec::new(), Vec::new(), *line);
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.breaks.push(id),
+                    None => self.edge(id, EXIT),
+                }
+                (Some(id), Vec::new())
+            }
+            Stmt::Continue { line } => {
+                let id = self.node(Vec::new(), Vec::new(), *line);
+                let target = self.loops.last().map(|c| c.continue_to);
+                match target {
+                    Some(t) => self.edge(id, t),
+                    None => self.edge(id, EXIT),
+                }
+                (Some(id), Vec::new())
+            }
+            Stmt::Nested(blk) => self.lower_block(blk),
+        }
+    }
+}
+
+impl Cfg<'_> {
+    /// True if the exit is reachable from `start`'s successors without
+    /// passing through a node for which `stop` holds. `start` itself is not
+    /// tested.
+    pub fn exit_reachable_avoiding(&self, start: usize, stop: impl Fn(&Node<'_>) -> bool) -> bool {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self.nodes[start].succs.clone();
+        while let Some(n) = stack.pop() {
+            if n == EXIT {
+                return true;
+            }
+            if visited[n] {
+                continue;
+            }
+            visited[n] = true;
+            if stop(&self.nodes[n]) {
+                continue;
+            }
+            stack.extend(self.nodes[n].succs.iter().copied());
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, split_comments};
+    use crate::parser::parse_file;
+
+    fn cfg_of(src: &str) -> (crate::parser::ParsedFile, ()) {
+        let (code, _) = split_comments(lex(src));
+        (parse_file(&code, &[], false), ())
+    }
+
+    #[test]
+    fn early_return_reaches_exit() {
+        let (p, _) =
+            cfg_of("fn f(&mut self) { let s = self.a.get(); if bad { return; } use_it(s); }");
+        let cfg = build(&p.fns[0]);
+        // From the let node, the exit is reachable without passing the
+        // `use_it` node (via the early return).
+        let alloc = cfg
+            .nodes
+            .iter()
+            .position(|n| n.defs.contains(&"s".to_string()))
+            .expect("let node");
+        assert!(cfg.exit_reachable_avoiding(alloc, |n| n.exprs.iter().any(|e| e.uses("s"))));
+    }
+
+    #[test]
+    fn use_on_all_paths_blocks_exit() {
+        let (p, _) = cfg_of(
+            "fn f(&mut self) { let s = self.a.get(); if bad { drop_it(s); return; } use_it(s); }",
+        );
+        let cfg = build(&p.fns[0]);
+        let alloc = cfg
+            .nodes
+            .iter()
+            .position(|n| n.defs.contains(&"s".to_string()))
+            .expect("let node");
+        assert!(!cfg.exit_reachable_avoiding(alloc, |n| n.exprs.iter().any(|e| e.uses("s"))));
+    }
+}

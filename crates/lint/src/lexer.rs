@@ -12,18 +12,22 @@
 //! * raw identifiers (`r#match`),
 //! * numeric literals with radix prefixes, `_` separators and type suffixes
 //!   (integers keep their value so the Table I manifest check can read the
-//!   `gtx480()` field initializers).
+//!   `gtx480()` field initializers),
+//! * a leading `#!/…` shebang line (skipped; `#![…]` inner attributes are
+//!   not shebangs and still lex as punctuation).
 //!
 //! Comments are kept as tokens because the `// simlint::allow(…)` escape
 //! hatch lives in them; rule matching runs on the comment-free stream.
 
-/// A lexical token plus the 1-based source line it starts on.
+/// A lexical token plus the 1-based source position it starts on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// The token kind (and payload where rules need one).
     pub tok: Tok,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
 }
 
 /// Token kinds produced by [`lex`].
@@ -35,9 +39,10 @@ pub enum Tok {
     /// A lifetime such as `'a` or `'static` (payload without the quote).
     Lifetime(String),
     /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`. The
-    /// content is deliberately dropped — string text must never trigger a
-    /// code lint.
-    Str,
+    /// payload is the literal's content (escapes left unprocessed). String
+    /// text never triggers a *token* lint — only the simcheck resource
+    /// discovery reads it, to learn queue names from `SimQueue::new("…")`.
+    Str(String),
     /// A char or byte-char literal (`'x'`, `'\n'`, `b'\0'`).
     Char,
     /// An integer literal whose value fits in `u64` (after stripping `_`
@@ -60,6 +65,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         chars: src.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         out: Vec::new(),
     }
     .run()
@@ -82,6 +88,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Vec<Token>,
 }
 
@@ -104,42 +111,52 @@ impl Lexer {
             self.pos += 1;
             if c == '\n' {
                 self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
             }
         }
         c
     }
 
-    fn push(&mut self, tok: Tok, line: u32) {
-        self.out.push(Token { tok, line });
+    fn push(&mut self, tok: Tok, line: u32, col: u32) {
+        self.out.push(Token { tok, line, col });
     }
 
     fn run(mut self) -> Vec<Token> {
+        // A `#!/usr/bin/env …` shebang may legally start a Rust source file;
+        // `#![…]` inner attributes must NOT be treated as one.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.bump();
+            }
+        }
         while let Some(c) = self.peek(0) {
-            let line = self.line;
+            let (line, col) = (self.line, self.col);
             if c.is_whitespace() {
                 self.bump();
             } else if c == '/' && self.peek(1) == Some('/') {
-                self.line_comment(line);
+                self.line_comment(line, col);
             } else if c == '/' && self.peek(1) == Some('*') {
-                self.block_comment(line);
+                self.block_comment(line, col);
             } else if c == '"' {
-                self.cooked_string();
-                self.push(Tok::Str, line);
+                let s = self.cooked_string();
+                self.push(Tok::Str(s), line, col);
             } else if c == '\'' {
-                self.quote(line);
+                self.quote(line, col);
             } else if c.is_ascii_digit() {
-                self.number(line);
+                self.number(line, col);
             } else if is_ident_start(c) {
-                self.ident_or_prefixed(line);
+                self.ident_or_prefixed(line, col);
             } else {
                 self.bump();
-                self.push(Tok::Punct(c), line);
+                self.push(Tok::Punct(c), line, col);
             }
         }
         self.out
     }
 
-    fn line_comment(&mut self, line: u32) {
+    fn line_comment(&mut self, line: u32, col: u32) {
         self.bump();
         self.bump();
         let mut text = String::new();
@@ -150,10 +167,10 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.push(Tok::Comment(text), line);
+        self.push(Tok::Comment(text), line, col);
     }
 
-    fn block_comment(&mut self, line: u32) {
+    fn block_comment(&mut self, line: u32, col: u32) {
         self.bump();
         self.bump();
         let mut depth = 1usize;
@@ -181,28 +198,35 @@ impl Lexer {
                 (None, _) => break,
             }
         }
-        self.push(Tok::Comment(text), line);
+        self.push(Tok::Comment(text), line, col);
     }
 
     /// Consumes a `"…"` string (escape-aware); the opening quote is at the
-    /// current position.
-    fn cooked_string(&mut self) {
+    /// current position. Returns the content with escapes unprocessed.
+    fn cooked_string(&mut self) -> String {
         self.bump();
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
+        text
     }
 
     /// Consumes a raw string whose opening `"` is at the current position
-    /// and which is fenced by `hashes` trailing `#` characters.
-    fn raw_string(&mut self, hashes: usize) {
+    /// and which is fenced by `hashes` trailing `#` characters. Returns the
+    /// content verbatim.
+    fn raw_string(&mut self, hashes: usize) -> String {
         self.bump();
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
                 for _ in 0..hashes {
@@ -210,16 +234,18 @@ impl Lexer {
                 }
                 break;
             }
+            text.push(c);
         }
+        text
     }
 
     /// Disambiguates `'a` (lifetime), `'a'` (char) and `'\n'` (escaped
     /// char); the opening quote is at the current position.
-    fn quote(&mut self, line: u32) {
+    fn quote(&mut self, line: u32, col: u32) {
         match self.peek(1) {
             Some('\\') => {
                 self.char_literal();
-                self.push(Tok::Char, line);
+                self.push(Tok::Char, line, col);
             }
             Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
                 // Scan the identifier run after the quote: a closing quote
@@ -231,14 +257,14 @@ impl Lexer {
                 }
                 if self.peek(j) == Some('\'') {
                     self.char_literal();
-                    self.push(Tok::Char, line);
+                    self.push(Tok::Char, line, col);
                 } else {
                     self.bump();
                     let mut name = String::new();
                     while self.peek(0).is_some_and(is_ident_continue) {
                         name.push(self.bump().expect("peeked"));
                     }
-                    self.push(Tok::Lifetime(name), line);
+                    self.push(Tok::Lifetime(name), line, col);
                 }
             }
             Some(_) if self.peek(2) == Some('\'') => {
@@ -246,11 +272,11 @@ impl Lexer {
                 self.bump();
                 self.bump();
                 self.bump();
-                self.push(Tok::Char, line);
+                self.push(Tok::Char, line, col);
             }
             _ => {
                 self.bump();
-                self.push(Tok::Punct('\''), line);
+                self.push(Tok::Punct('\''), line, col);
             }
         }
     }
@@ -270,7 +296,7 @@ impl Lexer {
         }
     }
 
-    fn number(&mut self, line: u32) {
+    fn number(&mut self, line: u32, col: u32) {
         let mut digits = String::new();
         let mut radix = 10;
         let mut float = false;
@@ -326,12 +352,12 @@ impl Lexer {
             float = true;
         }
         match u64::from_str_radix(&digits, radix) {
-            Ok(v) if !float => self.push(Tok::Int(v), line),
-            _ => self.push(Tok::Float, line),
+            Ok(v) if !float => self.push(Tok::Int(v), line, col),
+            _ => self.push(Tok::Float, line, col),
         }
     }
 
-    fn ident_or_prefixed(&mut self, line: u32) {
+    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
         let mut name = String::new();
         while self.peek(0).is_some_and(is_ident_continue) {
             name.push(self.bump().expect("peeked"));
@@ -340,8 +366,8 @@ impl Lexer {
             // Raw-string / raw-identifier prefixes.
             "r" | "br" => match self.peek(0) {
                 Some('"') => {
-                    self.raw_string(0);
-                    self.push(Tok::Str, line);
+                    let s = self.raw_string(0);
+                    self.push(Tok::Str(s), line, col);
                 }
                 Some('#') => {
                     let mut hashes = 0;
@@ -352,8 +378,8 @@ impl Lexer {
                         for _ in 0..hashes {
                             self.bump();
                         }
-                        self.raw_string(hashes);
-                        self.push(Tok::Str, line);
+                        let s = self.raw_string(hashes);
+                        self.push(Tok::Str(s), line, col);
                     } else if name == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start)
                     {
                         // Raw identifier `r#match`.
@@ -362,26 +388,26 @@ impl Lexer {
                         while self.peek(0).is_some_and(is_ident_continue) {
                             raw.push(self.bump().expect("peeked"));
                         }
-                        self.push(Tok::Ident(raw), line);
+                        self.push(Tok::Ident(raw), line, col);
                     } else {
-                        self.push(Tok::Ident(name), line);
+                        self.push(Tok::Ident(name), line, col);
                     }
                 }
-                _ => self.push(Tok::Ident(name), line),
+                _ => self.push(Tok::Ident(name), line, col),
             },
             // Byte-string / byte-char prefixes.
             "b" => match self.peek(0) {
                 Some('"') => {
-                    self.cooked_string();
-                    self.push(Tok::Str, line);
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line, col);
                 }
                 Some('\'') => {
                     self.char_literal();
-                    self.push(Tok::Char, line);
+                    self.push(Tok::Char, line, col);
                 }
-                _ => self.push(Tok::Ident(name), line),
+                _ => self.push(Tok::Ident(name), line, col),
             },
-            _ => self.push(Tok::Ident(name), line),
+            _ => self.push(Tok::Ident(name), line, col),
         }
     }
 }

@@ -20,21 +20,32 @@
 //!   machine-readable manifest, is cross-checked against the literals in
 //!   `crates/config/src/gpu.rs` ([`rules::TABLE_I_DRIFT`]).
 //!
+//! On top of the token rules sits **simcheck**, the flow-sensitive tier
+//! ([`simcheck`]): a lightweight function parser ([`parser`]) and
+//! branch-aware CFG ([`cfg`]) drive three whole-unit analyses — shard
+//! isolation for the epoch engine ([`rules::SHARD_ISOLATION`]), fetch-slot
+//! leak freedom ([`rules::FETCH_SLOT_LEAK`]) and queue/credit deadlock
+//! freedom ([`rules::QUEUE_DEADLOCK`]).
+//!
 //! Sites with a legitimate need (host CLIs, the one sanctioned wall-clock
 //! helper) opt out per line with `// simlint::allow(<rule>, reason = "…")`;
 //! the reason is mandatory and stale directives are themselves flagged.
 //!
-//! Run as `cargo run -p gpumem-lint -- check`; the tier-1 test
-//! `tests/simlint.rs` wires the same pass into `cargo test -q`.
+//! Run as `cargo run -p gpumem-lint -- check` (add `--format json` for the
+//! machine-readable report); the tier-1 test `tests/simlint.rs` wires the
+//! same pass into `cargo test -q`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod cfg;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod simcheck;
 
 use std::path::{Path, PathBuf};
 
@@ -121,19 +132,58 @@ pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints one file's source text: token rules, allowlist application, and
-/// unused-directive warnings. `label` is used verbatim in diagnostics.
-pub fn lint_source(label: &str, source: &str, is_test: bool) -> Vec<Diagnostic> {
-    let (code, comments) = lexer::split_comments(lexer::lex(source));
-    let mut diags = Vec::new();
-    let mut allows = Allowlist::collect(label, &comments, &mut diags);
-    for d in rules::run(label, &code, is_test) {
-        if !allows.suppresses(d.rule, d.line) {
-            diags.push(d);
-        }
+/// One source file queued for a lint run.
+#[derive(Debug)]
+pub struct FileInput {
+    /// Diagnostic label, used verbatim.
+    pub label: String,
+    /// Full source text.
+    pub source: String,
+    /// Whether the file is test code (exempt from determinism rules).
+    pub is_test: bool,
+}
+
+/// Lints a set of files as one unit: per-file token rules, then the
+/// flow-sensitive simcheck tier over all files together (the deadlock
+/// graph spans crates), then allowlist application and unused-directive
+/// warnings per file.
+pub fn lint_files(inputs: &[FileInput]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut units = Vec::new();
+    let mut analyzed = Vec::new();
+    for input in inputs {
+        let (code, comments) = lexer::split_comments(lexer::lex(&input.source));
+        let allows = Allowlist::collect(&input.label, &comments, &mut out);
+        let file_diags = rules::run(&input.label, &code, input.is_test);
+        let test_spans = rules::cfg_test_spans(&code);
+        analyzed.push(simcheck::AnalyzedFile {
+            label: input.label.clone(),
+            parsed: parser::parse_file(&code, &test_spans, input.is_test),
+        });
+        units.push((input.label.as_str(), allows, file_diags));
     }
-    allows.unused_warnings(label, &mut diags);
-    diags
+    let sim_diags = simcheck::run(&analyzed);
+    for (label, mut allows, file_diags) in units {
+        let for_file = sim_diags.iter().filter(|d| d.file == label).cloned();
+        for d in file_diags.into_iter().chain(for_file) {
+            if !allows.suppresses(d.rule, d.line) {
+                out.push(d);
+            }
+        }
+        allows.unused_warnings(label, &mut out);
+    }
+    out
+}
+
+/// Lints one file's source text: token rules, the simcheck tier (on this
+/// file alone), allowlist application, and unused-directive warnings.
+/// `label` is used verbatim in diagnostics.
+pub fn lint_source(label: &str, source: &str, is_test: bool) -> Vec<Diagnostic> {
+    lint_files(&[FileInput {
+        label: label.to_owned(),
+        source: source.to_owned(),
+        is_test,
+    }])
 }
 
 /// Lints explicit files/directories (no workspace-level checks). Paths are
@@ -151,12 +201,17 @@ pub fn check_paths(paths: &[PathBuf], _opts: &LintOptions) -> Result<LintOutcome
             files.push(p.clone());
         }
     }
-    let mut diagnostics = Vec::new();
+    let mut inputs = Vec::new();
     for f in &files {
         let src =
             std::fs::read_to_string(f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
-        diagnostics.extend(lint_source(&f.display().to_string(), &src, is_test_path(f)));
+        inputs.push(FileInput {
+            label: f.display().to_string(),
+            source: src,
+            is_test: is_test_path(f),
+        });
     }
+    let mut diagnostics = lint_files(&inputs);
     report::sort(&mut diagnostics);
     Ok(LintOutcome {
         diagnostics,
@@ -186,13 +241,17 @@ pub fn check_workspace(root: &Path, _opts: &LintOptions) -> Result<LintOutcome, 
     collect_rs_files(&crates_dir, &mut files);
     collect_rs_files(&root.join("tests"), &mut files);
 
-    let mut diagnostics = Vec::new();
+    let mut inputs = Vec::new();
     for f in &files {
         let src =
             std::fs::read_to_string(f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
-        let label = f.strip_prefix(root).unwrap_or(f).display().to_string();
-        diagnostics.extend(lint_source(&label, &src, is_test_path(f)));
+        inputs.push(FileInput {
+            label: f.strip_prefix(root).unwrap_or(f).display().to_string(),
+            source: src,
+            is_test: is_test_path(f),
+        });
     }
+    let mut diagnostics = lint_files(&inputs);
 
     diagnostics.extend(audit_forbid_unsafe(root, &crates_dir)?);
     diagnostics.extend(manifest_check(root)?);

@@ -1,7 +1,7 @@
 //! The `gpumem-lint` CLI.
 //!
 //! ```text
-//! gpumem-lint check [--root DIR] [--deny-all] [--paths P…]
+//! gpumem-lint check [--root DIR] [--deny-all] [--format text|json] [--paths P…]
 //! gpumem-lint rules
 //! ```
 //!
@@ -10,14 +10,20 @@
 //!   violations, 2 on usage errors.
 //! * `--deny-all` — promote warnings (stale `simlint::allow` directives) to
 //!   errors; CI runs in this mode.
+//! * `--format json` — emit the machine-readable report (stable schema, see
+//!   [`gpumem_lint::report::render_json`]) instead of the text rendering;
+//!   the exit-code contract is unchanged.
 //! * `rules` — print the rule catalogue.
 
 use std::path::PathBuf;
 
-use gpumem_lint::{check_paths, check_workspace, rules, LintOptions};
+use gpumem_lint::{check_paths, check_workspace, report, rules, LintOptions};
 
 fn usage() -> ! {
-    eprintln!("usage: gpumem-lint check [--root DIR] [--deny-all] [--paths P…] | rules");
+    eprintln!(
+        "usage: gpumem-lint check [--root DIR] [--deny-all] [--format text|json] [--paths P…] \
+         | rules"
+    );
     std::process::exit(2)
 }
 
@@ -27,6 +33,7 @@ fn main() {
     let mut command = None;
     let mut root = None;
     let mut deny_all = false;
+    let mut json = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -37,6 +44,11 @@ fn main() {
                 None => usage(),
             },
             "--deny-all" => deny_all = true,
+            "--format" => match it.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
+            },
             "--paths" => {
                 paths.extend(it.by_ref().map(PathBuf::from));
                 if paths.is_empty() {
@@ -74,13 +86,20 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            print!("{}", outcome.render());
             let denied = outcome.denied(&opts).count();
-            let warnings = outcome.diagnostics.len() - denied;
-            println!(
-                "simlint: {} files scanned, {denied} violation(s), {warnings} warning(s)",
-                outcome.files_scanned
-            );
+            if json {
+                print!(
+                    "{}",
+                    report::render_json(&outcome.diagnostics, outcome.files_scanned)
+                );
+            } else {
+                print!("{}", outcome.render());
+                let warnings = outcome.diagnostics.len() - denied;
+                println!(
+                    "simlint: {} files scanned, {denied} violation(s), {warnings} warning(s)",
+                    outcome.files_scanned
+                );
+            }
             if denied > 0 {
                 std::process::exit(1);
             }

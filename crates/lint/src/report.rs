@@ -23,6 +23,8 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line of the offending token.
     pub line: u32,
+    /// 1-based column of the offending token; 0 when unknown.
+    pub col: u32,
     /// Stable rule id (see [`crate::rules::RULES`]).
     pub rule: &'static str,
     /// Whether the finding fails the pass by default.
@@ -45,11 +47,19 @@ impl Diagnostic {
         Diagnostic {
             file: file.into(),
             line,
+            col: 0,
             rule,
             severity: Severity::Error,
             message: message.into(),
             hint: hint.into(),
         }
+    }
+
+    /// Attaches a 1-based column, making the finding's span precise.
+    #[must_use]
+    pub fn with_col(mut self, col: u32) -> Self {
+        self.col = col;
+        self
     }
 
     /// Builds a warning-severity diagnostic.
@@ -102,5 +112,76 @@ pub fn render(diags: &[Diagnostic]) -> String {
         out.push_str(&d.to_string());
         out.push('\n');
     }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders all diagnostics as a stable JSON report for CI and other tools.
+///
+/// Schema (append-only; fields are never renamed or removed):
+/// ```json
+/// {
+///   "version": 1,
+///   "findings": [
+///     {
+///       "rule": "…", "file": "…", "line": N,
+///       "span": {"line": N, "col": N},
+///       "severity": "error" | "warning",
+///       "message": "…", "reason": "…"
+///     }
+///   ],
+///   "summary": {"errors": N, "warnings": N}
+/// }
+/// ```
+/// `reason` carries the fix hint; `span.col` is 0 when the rule only knows
+/// the line.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"span\": {{\"line\": {}, \"col\": {}}}, \"severity\": \"{sev}\", \
+             \"message\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            json_escape(&d.hint),
+        ));
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \
+         \"files_scanned\": {files_scanned}}}\n}}\n"
+    ));
     out
 }

@@ -43,6 +43,14 @@ pub const NO_PANIC_IN_MODEL: &str = "no-panic-in-model";
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
 /// A `simlint::allow` directive that suppressed nothing.
 pub const UNUSED_ALLOW: &str = "unused-allow";
+/// Shard-context code touching fabric or cross-shard mutable state
+/// (simcheck tier).
+pub const SHARD_ISOLATION: &str = "shard-isolation";
+/// A `FetchArena` slot allocation not consumed on every CFG exit path
+/// (simcheck tier).
+pub const FETCH_SLOT_LEAK: &str = "fetch-slot-leak";
+/// A queue/credit resource cycle with no guaranteed drain (simcheck tier).
+pub const QUEUE_DEADLOCK: &str = "queue-deadlock";
 
 /// The full rule catalogue.
 pub const RULES: &[RuleInfo] = &[
@@ -109,6 +117,26 @@ pub const RULES: &[RuleInfo] = &[
         summary: "simlint::allow directives that suppress nothing are flagged \
                   (warning; error under --deny-all)",
         suppressible: false,
+    },
+    RuleInfo {
+        id: SHARD_ISOLATION,
+        summary: "epoch-engine shard contexts (*Chunk/*Pack methods in \
+                  parallel.rs) must not name fabric state, call \
+                  coordinator-only protocol methods, or mutate through \
+                  shared parameters",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: FETCH_SLOT_LEAK,
+        summary: "every FetchArena slot allocation must be freed, transferred \
+                  or escaped on every CFG path to the function exit",
+        suppressible: true,
+    },
+    RuleInfo {
+        id: QUEUE_DEADLOCK,
+        summary: "every cycle in the queue/credit resource-dependency graph \
+                  must contain a capacity-unguarded drain",
+        suppressible: true,
     },
 ];
 

@@ -1,0 +1,665 @@
+//! Queue/credit deadlock analysis: every cycle in the backpressure graph
+//! must contain a guaranteed drain.
+//!
+//! Resources are the named bounded queues (`SimQueue::new("l2_access", …)`
+//! struct fields, discovered from constructor literals — the same idiom on
+//! both crossbar port queues and component queues). The analysis then
+//! summarizes how fetches move between resources:
+//!
+//! * a **transfer edge** A → B exists where a function pops A and pushes
+//!   the popped value (tracked through its binding) into B — directly
+//!   (`b.push(f)` after `let f = a.pop()`) or through one level of
+//!   accessor (`self.dram.pop_return()` resolves to `dram_return`;
+//!   `port.try_inject(pkt)` resolves to `noc_input`);
+//! * a **drain** exists where a popped value leaves the tracked topology
+//!   (consumed by a component, dropped, or handed to an untracked buffer)
+//!   and the pop is *not* conditioned on another resource's capacity
+//!   (`is_full`/`free`/`can_inject`/`can_accept`/credit predicates) — a
+//!   capacity-guarded pop is backpressure-coupled, not a guaranteed drain.
+//!
+//! A strongly connected component of transfer edges with no member drain
+//! can wedge: once every queue in the cycle fills, every pop in it is
+//! waiting on capacity that only those same pops can create. The finding
+//! reports the cycle in the same pipeline order the watchdog uses for its
+//! blocked-port chain, so a static report and a runtime `WedgeDiagnosis`
+//! read the same way.
+//!
+//! Approximations (all biased toward silence on sound code): values handed
+//! to untracked buffers count as drains, accessor summaries propagate one
+//! level, and single-resource self-loops (scheduler requeue scans) are
+//! ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Block, Call, ExprInfo, FnDef, Stmt};
+use crate::report::Diagnostic;
+use crate::rules::QUEUE_DEADLOCK;
+
+use super::AnalyzedFile;
+
+/// Queue constructors whose first string argument names the resource.
+const QUEUE_CTORS: &[&str] = &["SimQueue", "BoundedQueue"];
+
+/// Capacity/credit predicates: a pop under one of these is guarded.
+const CAPACITY_METHODS: &[&str] = &[
+    "is_full",
+    "free",
+    "can_inject",
+    "can_accept",
+    "can_push",
+    "has_credit",
+    "credits",
+    "headroom",
+];
+
+/// The watchdog's pipeline order for blocked-port chains
+/// (`gpu.rs` wedge diagnosis); unknown resources sort after, by name.
+const PIPELINE_ORDER: &[&str] = &[
+    "lsu_pipeline",
+    "l1_miss",
+    "noc_input",
+    "noc_ejection",
+    "l2_access",
+    "l2_miss",
+    "dram_sched",
+    "dram_write",
+    "dram_return",
+    "l2_response",
+    "l2_writeback",
+    "l2_to_icnt",
+];
+
+fn pipeline_rank(name: &str) -> (usize, String) {
+    match PIPELINE_ORDER.iter().position(|p| *p == name) {
+        Some(i) => (i, String::new()),
+        None => (PIPELINE_ORDER.len(), name.to_string()),
+    }
+}
+
+#[derive(Default, Clone)]
+struct Summary {
+    pops: BTreeSet<String>,
+    pushes: BTreeSet<String>,
+}
+
+/// Where a transfer edge was established.
+#[derive(Clone)]
+struct EdgeSite {
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+struct Analysis {
+    /// (file label, field name) → resource name.
+    fields: BTreeMap<(String, String), String>,
+    /// field name → all resource names it maps to anywhere (for the
+    /// unambiguous-global fallback).
+    global: BTreeMap<String, BTreeSet<String>>,
+    /// accessor fn name → summary of its direct queue operations.
+    summaries: BTreeMap<String, Summary>,
+    /// transfer edges with their first recorded site.
+    edges: BTreeMap<(String, String), EdgeSite>,
+    /// resources with a guaranteed (unguarded) drain.
+    drains: BTreeSet<String>,
+}
+
+/// Runs the analysis over the whole unit.
+pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let mut a = Analysis {
+        fields: BTreeMap::new(),
+        global: BTreeMap::new(),
+        summaries: BTreeMap::new(),
+        edges: BTreeMap::new(),
+        drains: BTreeSet::new(),
+    };
+    a.discover_resources(files);
+    if a.fields.is_empty() {
+        return Vec::new();
+    }
+    a.build_summaries(files);
+    for file in files {
+        for f in &file.parsed.fns {
+            if f.is_test {
+                continue;
+            }
+            FnWalk::new(&mut a, &file.label).run(f);
+        }
+    }
+    a.report()
+}
+
+fn for_each_expr<'a>(block: &'a Block, f: &mut impl FnMut(&'a ExprInfo)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    f(e);
+                }
+                if let Some(b) = else_block {
+                    for_each_expr(b, f);
+                }
+            }
+            Stmt::Expr(e) => f(e),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                f(cond);
+                for_each_expr(then_blk, f);
+                if let Some(b) = else_blk {
+                    for_each_expr(b, f);
+                }
+            }
+            Stmt::Match {
+                scrutinee, arms, ..
+            } => {
+                f(scrutinee);
+                for arm in arms {
+                    for_each_expr(&arm.body, f);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                f(cond);
+                for_each_expr(body, f);
+            }
+            Stmt::Loop { body, .. } => for_each_expr(body, f),
+            Stmt::For { iter, body, .. } => {
+                f(iter);
+                for_each_expr(body, f);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    f(e);
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Nested(b) => for_each_expr(b, f),
+        }
+    }
+}
+
+impl Analysis {
+    /// Pass 1: find `field: SimQueue::new("name", …)` constructor literals.
+    fn discover_resources(&mut self, files: &[AnalyzedFile]) {
+        for file in files {
+            for f in &file.parsed.fns {
+                if f.is_test {
+                    continue;
+                }
+                for_each_expr(&f.body, &mut |e| {
+                    for call in &e.calls {
+                        let is_ctor = call.path.len() == 2
+                            && QUEUE_CTORS.contains(&call.path[0].as_str())
+                            && call.path[1] == "new";
+                        if !is_ctor {
+                            continue;
+                        }
+                        let (Some(name), Some(field)) =
+                            (call.args_str.first(), call.field_hint.as_ref())
+                        else {
+                            continue;
+                        };
+                        self.fields
+                            .insert((file.label.clone(), field.clone()), name.clone());
+                        self.global
+                            .entry(field.clone())
+                            .or_default()
+                            .insert(name.clone());
+                    }
+                });
+            }
+        }
+    }
+
+    /// Resolves a queue field to its resource name: per-file first, then
+    /// the global map when unambiguous.
+    fn resolve(&self, file: &str, field: &str) -> Option<String> {
+        if let Some(n) = self.fields.get(&(file.to_string(), field.to_string())) {
+            return Some(n.clone());
+        }
+        match self.global.get(field) {
+            Some(names) if names.len() == 1 => names.iter().next().cloned(),
+            _ => None,
+        }
+    }
+
+    /// Direct pop/push operations of one expression, resolved in `file`.
+    fn direct_ops(&self, file: &str, e: &ExprInfo) -> Summary {
+        let mut s = Summary::default();
+        for call in &e.calls {
+            let Some(field) = call.recv.last() else {
+                continue;
+            };
+            let Some(res) = self.resolve(file, field) else {
+                continue;
+            };
+            match call.method.as_str() {
+                "pop" => {
+                    s.pops.insert(res);
+                }
+                "push" => {
+                    s.pushes.insert(res);
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Pass 2: per-function summaries of direct queue operations, keyed by
+    /// function name (one-level accessor propagation).
+    fn build_summaries(&mut self, files: &[AnalyzedFile]) {
+        for file in files {
+            for f in &file.parsed.fns {
+                if f.is_test || f.name == "new" {
+                    continue;
+                }
+                let mut total = Summary::default();
+                for_each_expr(&f.body, &mut |e| {
+                    let s = self.direct_ops(&file.label, e);
+                    total.pops.extend(s.pops);
+                    total.pushes.extend(s.pushes);
+                });
+                if total.pops.is_empty() && total.pushes.is_empty() {
+                    continue;
+                }
+                let entry = self.summaries.entry(f.name.clone()).or_default();
+                entry.pops.extend(total.pops);
+                entry.pushes.extend(total.pushes);
+            }
+        }
+    }
+
+    /// The resource a call pops, when it is a clean single-pop operation.
+    fn pop_resource(&self, file: &str, call: &Call) -> Option<String> {
+        if call.method == "pop" {
+            if let Some(field) = call.recv.last() {
+                if let Some(res) = self.resolve(file, field) {
+                    return Some(res);
+                }
+            }
+        }
+        if let Some(s) = self.summaries.get(&call.method) {
+            if call.method != "pop" && s.pops.len() == 1 && s.pushes.is_empty() {
+                return s.pops.iter().next().cloned();
+            }
+        }
+        None
+    }
+
+    /// The resources a call pushes into, when it is a clean push operation.
+    fn push_targets(&self, file: &str, call: &Call) -> Vec<String> {
+        if call.method == "push" {
+            if let Some(field) = call.recv.last() {
+                if let Some(res) = self.resolve(file, field) {
+                    return vec![res];
+                }
+            }
+            return Vec::new();
+        }
+        match self.summaries.get(&call.method) {
+            Some(s) if !s.pushes.is_empty() && s.pops.is_empty() => {
+                s.pushes.iter().cloned().collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// True when the expression conditions on capacity or credit state of
+    /// some tracked resource.
+    fn mentions_capacity(&self, file: &str, e: &ExprInfo) -> bool {
+        if e.idents.iter().any(|(n, _)| n.contains("credit")) {
+            return true;
+        }
+        e.calls.iter().any(|c| {
+            CAPACITY_METHODS.contains(&c.method.as_str())
+                && c.recv.last().and_then(|f| self.resolve(file, f)).is_some()
+        })
+    }
+
+    fn edge(&mut self, from: &str, to: &str, file: &str, line: u32, col: u32) {
+        if from == to {
+            // Single-queue requeue scans (FR-FCFS style) are not transfer
+            // cycles.
+            return;
+        }
+        self.edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(EdgeSite {
+                file: file.to_string(),
+                line,
+                col,
+            });
+    }
+
+    /// Pass 4: SCCs of the transfer graph; flag those without a drain.
+    fn report(&self) -> Vec<Diagnostic> {
+        let mut nodes: BTreeSet<&str> = BTreeSet::new();
+        for (a, b) in self.edges.keys() {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let nodes: Vec<&str> = nodes.into_iter().collect();
+        let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (a, b) in self.edges.keys() {
+            adj[index[a.as_str()]].push(index[b.as_str()]);
+        }
+        let mut out = Vec::new();
+        for scc in tarjan_sccs(&adj) {
+            if scc.len() < 2 {
+                continue;
+            }
+            let mut members: Vec<&str> = scc.iter().map(|&i| nodes[i]).collect();
+            if members.iter().any(|m| self.drains.contains(*m)) {
+                continue;
+            }
+            members.sort_by_key(|m| pipeline_rank(m));
+            // Anchor on the cycle-internal edge earliest in pipeline order.
+            let in_scc: BTreeSet<&str> = members.iter().copied().collect();
+            let site = self
+                .edges
+                .iter()
+                .filter(|((a, b), _)| in_scc.contains(a.as_str()) && in_scc.contains(b.as_str()))
+                .min_by_key(|((a, _), s)| (pipeline_rank(a), s.file.clone(), s.line))
+                .map(|(_, s)| s.clone());
+            let Some(site) = site else { continue };
+            let chain = members.join(" -> ");
+            out.push(
+                Diagnostic::error(
+                    site.file.clone(),
+                    site.line,
+                    QUEUE_DEADLOCK,
+                    format!(
+                        "queue/credit cycle with no guaranteed drain: {chain} \
+                         (blocked-port chain in watchdog pipeline order)"
+                    ),
+                    "every resource cycle needs at least one consumer that pops \
+                     unconditionally (not behind another queue's capacity/credit \
+                     check); add an unguarded drain or allowlist the site with the \
+                     invariant that prevents the wedge",
+                )
+                .with_col(site.col),
+            );
+        }
+        out
+    }
+}
+
+/// One tracked binding: a variable holding a value popped from `resource`.
+struct Bind {
+    name: String,
+    resource: String,
+    guarded: bool,
+    pushed: bool,
+    escaped: bool,
+}
+
+struct FnWalk<'a> {
+    a: &'a mut Analysis,
+    file: &'a str,
+    binds: Vec<Bind>,
+}
+
+impl<'a> FnWalk<'a> {
+    fn new(a: &'a mut Analysis, file: &'a str) -> Self {
+        FnWalk {
+            a,
+            file,
+            binds: Vec::new(),
+        }
+    }
+
+    fn run(mut self, f: &FnDef) {
+        self.walk_block(&f.body, false);
+        // A trailing expression escapes its mentions to the caller (the
+        // accessor-return idiom: `let v = q.pop(); … ; v`).
+        if let Some(Stmt::Expr(e)) = f.body.stmts.last() {
+            for b in &mut self.binds {
+                if e.uses(&b.name) {
+                    b.escaped = true;
+                }
+            }
+        }
+        for b in &self.binds {
+            if !b.pushed && !b.escaped && !b.guarded {
+                self.a.drains.insert(b.resource.clone());
+            }
+        }
+    }
+
+    fn bind(&mut self, names: &[String], resource: String, guarded: bool) {
+        if let Some(name) = names.first() {
+            self.binds.push(Bind {
+                name: name.clone(),
+                resource,
+                guarded,
+                pushed: false,
+                escaped: false,
+            });
+        } else if !guarded {
+            // Popped and never bound: the value is dropped — a drain.
+            self.a.drains.insert(resource);
+        }
+    }
+
+    /// The single pop this expression performs, if it is a clean pop.
+    fn expr_pop(&self, e: &ExprInfo) -> Option<String> {
+        let mut pops: Vec<String> = e
+            .calls
+            .iter()
+            .filter_map(|c| self.a.pop_resource(self.file, c))
+            .collect();
+        pops.sort_unstable();
+        pops.dedup();
+        if pops.len() == 1 {
+            pops.pop()
+        } else {
+            None
+        }
+    }
+
+    fn walk_block(&mut self, block: &Block, guarded: bool) {
+        // `g` tightens for the rest of the block after an early-return
+        // capacity guard (`if x.is_full() { return; } …`).
+        let mut g = guarded;
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let {
+                    names,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    if let Some(e) = init {
+                        self.process_expr(e, g);
+                        if let Some(res) = self.expr_pop(e) {
+                            self.bind(names, res, g);
+                        }
+                    }
+                    if let Some(b) = else_block {
+                        self.walk_block(b, g);
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.process_expr(e, g);
+                    // A bare discarded pop statement drops the value: an
+                    // unguarded one is a guaranteed drain.
+                    if !g {
+                        for call in &e.calls {
+                            if call.discarded {
+                                if let Some(res) = self.a.pop_resource(self.file, call) {
+                                    self.a.drains.insert(res);
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::If {
+                    pat,
+                    cond,
+                    then_blk,
+                    else_blk,
+                    ..
+                } => {
+                    self.process_expr(cond, g);
+                    let inner = g || self.a.mentions_capacity(self.file, cond);
+                    if !pat.is_empty() {
+                        if let Some(res) = self.expr_pop(cond) {
+                            self.bind(pat, res, g);
+                        }
+                    }
+                    self.walk_block(then_blk, inner);
+                    if let Some(b) = else_blk {
+                        self.walk_block(b, inner);
+                    }
+                    if inner && !g && block_diverges(then_blk) {
+                        g = true;
+                    }
+                }
+                Stmt::Match {
+                    scrutinee, arms, ..
+                } => {
+                    self.process_expr(scrutinee, g);
+                    let popped = self.expr_pop(scrutinee);
+                    for arm in arms {
+                        if let Some(res) = &popped {
+                            self.bind(&arm.pat, res.clone(), g);
+                        }
+                        self.walk_block(&arm.body, g);
+                    }
+                }
+                Stmt::While {
+                    pat, cond, body, ..
+                } => {
+                    self.process_expr(cond, g);
+                    let inner = g || self.a.mentions_capacity(self.file, cond);
+                    if !pat.is_empty() {
+                        if let Some(res) = self.expr_pop(cond) {
+                            self.bind(pat, res, g);
+                        }
+                    }
+                    self.walk_block(body, inner);
+                }
+                Stmt::Loop { body, .. } => self.walk_block(body, g),
+                Stmt::For { iter, body, .. } => {
+                    self.process_expr(iter, g);
+                    self.walk_block(body, g);
+                }
+                Stmt::Return { value, .. } => {
+                    if let Some(e) = value {
+                        self.process_expr(e, g);
+                        for b in &mut self.binds {
+                            if e.uses(&b.name) {
+                                b.escaped = true;
+                            }
+                        }
+                    }
+                }
+                Stmt::Break { .. } | Stmt::Continue { .. } => {}
+                Stmt::Nested(b) => self.walk_block(b, g),
+            }
+        }
+    }
+
+    /// Records edges for this expression: bound pops flowing into pushes,
+    /// and pops nested directly inside a push's argument span.
+    fn process_expr(&mut self, e: &ExprInfo, _guarded: bool) {
+        for call in &e.calls {
+            let targets = self.a.push_targets(self.file, call);
+            if targets.is_empty() {
+                continue;
+            }
+            // Bound value pushed onward: resource-to-resource edge.
+            let mut froms: Vec<String> = Vec::new();
+            for b in &mut self.binds {
+                if call.arg_idents.iter().any(|a| a == &b.name) {
+                    b.pushed = true;
+                    froms.push(b.resource.clone());
+                }
+            }
+            // Pop nested inside the push's own argument span
+            // (`b.push(a.pop())`).
+            for inner in &e.calls {
+                if inner.start > call.start && inner.end <= call.end {
+                    if let Some(res) = self.a.pop_resource(self.file, inner) {
+                        froms.push(res);
+                    }
+                }
+            }
+            for from in froms {
+                for t in &targets {
+                    self.a.edge(&from, t, self.file, call.line, call.col);
+                }
+            }
+        }
+    }
+}
+
+/// True when every path through the block diverges (return/break/continue).
+fn block_diverges(b: &Block) -> bool {
+    matches!(
+        b.stmts.last(),
+        Some(Stmt::Return { .. }) | Some(Stmt::Break { .. }) | Some(Stmt::Continue { .. })
+    )
+}
+
+/// Iterative Tarjan SCC over a small adjacency list; returns components in
+/// deterministic order.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next = 0usize;
+    let mut out = Vec::new();
+    // Explicit DFS state: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(p, _)) = work.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,205 @@
+//! Shard-isolation analysis: a static race detector for the epoch engine.
+//!
+//! The parallel engine free-runs shard contexts (methods on the
+//! `*Chunk`/`*Pack` types in `parallel.rs`) between barriers. Those
+//! methods may only touch shard-local state (`self` and locals), read
+//! shared parameter structs, and use the sanctioned snapshot protocol
+//! (`take_landings`/`restore_landings` on their own ports). Every other
+//! access class is a cross-shard race that the runtime differential suite
+//! can only catch per-seed:
+//!
+//! * **fabric-mutation** — naming the crossbar fabrics (`req_xbar`,
+//!   `resp_xbar`) or calling coordinator-only protocol methods
+//!   (`fabric_mut`, `take_ports`, `restore_ports`, `set_credits`) from a
+//!   shard context;
+//! * **cross-shard mutable access** — calling a mutating method through a
+//!   non-self function parameter (shared references handed into the shard
+//!   step must stay read-only).
+
+use crate::parser::{Block, Call, ExprInfo, FnDef, Stmt};
+use crate::report::Diagnostic;
+use crate::rules::SHARD_ISOLATION;
+
+use super::AnalyzedFile;
+
+/// Fabric identifiers that shard code must never name.
+const FABRIC_IDENTS: &[&str] = &["req_xbar", "resp_xbar", "fabrics"];
+
+/// Coordinator-only protocol methods.
+const COORDINATOR_METHODS: &[&str] = &["fabric_mut", "take_ports", "restore_ports", "set_credits"];
+
+/// Method-name prefixes that mutate their receiver.
+const MUTATING_PREFIXES: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "take",
+    "restore",
+    "set_",
+    "tick",
+    "clear",
+    "drain",
+    "inject",
+    "try_inject",
+    "land",
+];
+
+/// True when `ty` names a shard-context type (the epoch engine's chunk and
+/// pack structs).
+fn is_shard_type(ty: &str) -> bool {
+    ty.contains("Chunk") || ty.contains("Pack")
+}
+
+fn is_mutating(method: &str) -> bool {
+    MUTATING_PREFIXES.iter().any(|p| method.starts_with(p))
+}
+
+/// Runs the analysis over every shard-context function in parallel-engine
+/// files.
+pub fn check(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let name = file.label.rsplit('/').next().unwrap_or(file.label.as_str());
+        if !name.contains("parallel") {
+            continue;
+        }
+        for f in &file.parsed.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some(ty) = f.impl_type.as_deref() else {
+                continue;
+            };
+            if !is_shard_type(ty) {
+                continue;
+            }
+            check_fn(&file.label, ty, f, &mut out);
+        }
+    }
+    out
+}
+
+fn check_fn(label: &str, ty: &str, f: &FnDef, out: &mut Vec<Diagnostic>) {
+    walk_block(label, ty, f, &f.body, out);
+}
+
+fn walk_block(label: &str, ty: &str, f: &FnDef, block: &Block, out: &mut Vec<Diagnostic>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    check_expr(label, ty, f, e, out);
+                }
+                if let Some(b) = else_block {
+                    walk_block(label, ty, f, b, out);
+                }
+            }
+            Stmt::Expr(e) => check_expr(label, ty, f, e, out),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                check_expr(label, ty, f, cond, out);
+                walk_block(label, ty, f, then_blk, out);
+                if let Some(b) = else_blk {
+                    walk_block(label, ty, f, b, out);
+                }
+            }
+            Stmt::Match {
+                scrutinee, arms, ..
+            } => {
+                check_expr(label, ty, f, scrutinee, out);
+                for arm in arms {
+                    walk_block(label, ty, f, &arm.body, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                check_expr(label, ty, f, cond, out);
+                walk_block(label, ty, f, body, out);
+            }
+            Stmt::Loop { body, .. } => walk_block(label, ty, f, body, out),
+            Stmt::For { iter, body, .. } => {
+                check_expr(label, ty, f, iter, out);
+                walk_block(label, ty, f, body, out);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    check_expr(label, ty, f, e, out);
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Nested(b) => walk_block(label, ty, f, b, out),
+        }
+    }
+}
+
+fn check_expr(label: &str, ty: &str, f: &FnDef, e: &ExprInfo, out: &mut Vec<Diagnostic>) {
+    for (name, line) in &e.idents {
+        if FABRIC_IDENTS.contains(&name.as_str()) {
+            out.push(Diagnostic::error(
+                label,
+                *line,
+                SHARD_ISOLATION,
+                format!(
+                    "shard context {ty}::{} names crossbar fabric state `{name}` \
+                     (fabric-mutation class)",
+                    f.name
+                ),
+                "shards run against frozen boundary state; route fabric effects through \
+                 the coordinator's replay (take_ports/restore_ports) or the epoch landing \
+                 snapshot protocol",
+            ));
+        }
+    }
+    for call in &e.calls {
+        check_call(label, ty, f, call, out);
+    }
+}
+
+fn check_call(label: &str, ty: &str, f: &FnDef, call: &Call, out: &mut Vec<Diagnostic>) {
+    if COORDINATOR_METHODS.contains(&call.method.as_str()) {
+        out.push(
+            Diagnostic::error(
+                label,
+                call.line,
+                SHARD_ISOLATION,
+                format!(
+                    "shard context {ty}::{} calls coordinator-only protocol method `{}` \
+                     (fabric-mutation class)",
+                    f.name, call.method
+                ),
+                "only the coordinator may move port state across the shard boundary; \
+                 inside a shard, buffer the effect and let the epoch replay commit it",
+            )
+            .with_col(call.col),
+        );
+        return;
+    }
+    // A mutating call whose receiver is rooted at a non-self parameter is a
+    // write through a shared reference: cross-shard mutable access.
+    if let Some(root) = call.recv.first() {
+        if root != "self" && f.params.iter().any(|p| p == root) && is_mutating(&call.method) {
+            out.push(
+                Diagnostic::error(
+                    label,
+                    call.line,
+                    SHARD_ISOLATION,
+                    format!(
+                        "shard context {ty}::{} mutates `{root}` through a shared \
+                         function parameter via `{}` (cross-shard mutable access)",
+                        f.name, call.method
+                    ),
+                    "parameters handed into a shard step must stay read-only \
+                     (snapshot-read class); move the mutation into the coordinator or \
+                     pass the state by value into the shard",
+                )
+                .with_col(call.col),
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded fetch-slot leaks: an allocation that reaches the function exit
+//! without a free/transfer on the fall-through path, a discarded
+//! allocation, and a `_`-bound allocation. `clean` pairs its slot on
+//! every path and stays legal.
+
+pub struct Demo {
+    arena: FetchArena,
+    mshr: Mshr,
+}
+
+impl Demo {
+    pub fn leaky(&mut self, fetch: MemFetch, miss: bool) {
+        let slot = self.arena.insert(fetch);
+        if miss {
+            self.mshr.allocate(slot);
+        }
+    }
+
+    pub fn discards(&mut self, fetch: MemFetch) {
+        self.arena.insert(fetch);
+    }
+
+    pub fn wildcard(&mut self, fetch: MemFetch) {
+        let _ = self.arena.insert(fetch);
+    }
+
+    pub fn clean(&mut self, fetch: MemFetch) -> SlotId {
+        let slot = self.arena.insert(fetch);
+        self.mshr.allocate(slot);
+        slot
+    }
+}

@@ -1,0 +1,53 @@
+//! Seeded queue/credit deadlock: `ping` and `pong` transfer into each
+//! other, each pop guarded by the other side's capacity, and nothing in
+//! the cycle drains unconditionally. The `spill`/`floor` pair has the
+//! same shape plus an unguarded consumer, so it stays legal.
+
+pub struct Relay {
+    ping: SimQueue<Msg>,
+    pong: SimQueue<Msg>,
+    spill: SimQueue<Msg>,
+    floor: SimQueue<Msg>,
+}
+
+impl Relay {
+    pub fn new() -> Self {
+        Relay {
+            ping: SimQueue::new("ping", 8),
+            pong: SimQueue::new("pong", 8),
+            spill: SimQueue::new("spill", 8),
+            floor: SimQueue::new("floor", 8),
+        }
+    }
+
+    pub fn forward(&mut self) {
+        if self.pong.is_full() {
+            return;
+        }
+        if let Some(msg) = self.ping.pop() {
+            self.pong.push(msg);
+        }
+    }
+
+    pub fn backward(&mut self) {
+        if !self.ping.is_full() {
+            if let Some(msg) = self.pong.pop() {
+                self.ping.push(msg);
+            }
+        }
+    }
+
+    pub fn spill_over(&mut self) {
+        if !self.floor.is_full() {
+            if let Some(msg) = self.spill.pop() {
+                self.floor.push(msg);
+            }
+        }
+    }
+
+    pub fn sweep(&mut self) {
+        if let Some(msg) = self.floor.pop() {
+            self.retire(msg);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded shard-isolation violations: a shard context (a `*Chunk` method
+//! in a parallel-engine file) naming fabric state, calling a
+//! coordinator-only protocol method, and mutating through a shared
+//! parameter. `coordinator_replay` is a free function and stays legal.
+
+pub struct DemoChunk {
+    ticks: u64,
+}
+
+impl DemoChunk {
+    pub fn phase(&mut self, xbar: &mut Crossbar, params: &CoreParams) {
+        self.ticks += 1;
+        let budget = params.window;
+        let port = self.req_xbar.port(0);
+        let snapshot = self.fabric_mut();
+        xbar.try_inject(budget);
+        drop((port, snapshot));
+    }
+}
+
+pub fn coordinator_replay(xbar: &mut Crossbar) {
+    let ports = xbar.take_ports();
+    xbar.restore_ports(ports);
+}

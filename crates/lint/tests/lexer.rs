@@ -125,3 +125,63 @@ fn line_numbers_survive_multiline_tokens() {
         .expect("c lexed");
     assert_eq!(c.line, 7);
 }
+
+#[test]
+fn shebang_line_is_skipped() {
+    // A leading shebang is legal in a Rust source file and must not lex as
+    // `#` `!` `/` punctuation (which would desync the parser tier).
+    let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+    assert!(
+        matches!(&toks[0].tok, Tok::Ident(n) if n == "fn"),
+        "first token after a shebang is `fn`, got {:?}",
+        toks[0].tok
+    );
+    assert_eq!(toks[0].line, 2);
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    // `#![forbid(unsafe_code)]` at file start shares the `#!` prefix with a
+    // shebang but is an attribute: every token must survive.
+    let toks = lex("#![forbid(unsafe_code)]\nfn main() {}\n");
+    assert!(matches!(&toks[0].tok, Tok::Punct('#')));
+    assert!(matches!(&toks[1].tok, Tok::Punct('!')));
+    assert!(idents("#![forbid(unsafe_code)]\nfn main() {}").contains(&"forbid".to_string()));
+}
+
+#[test]
+fn string_payloads_are_kept() {
+    // simcheck's resource discovery reads queue names out of
+    // `SimQueue::new("…")`, so string literals keep their content.
+    let toks = lex(r#"SimQueue::new("l2_access", 8)"#);
+    assert!(toks
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Str(s) if s == "l2_access")));
+    // Raw strings keep content verbatim, including embedded hashes.
+    let toks = lex(r###"let x = r##"a "# b"##;"###);
+    assert!(toks
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Str(s) if s == r##"a "# b"##)));
+}
+
+#[test]
+fn raw_string_with_hashes_inside_macro_body() {
+    // A `#`-fenced raw string inside a macro invocation must not eat the
+    // macro's closing delimiters.
+    let src = r###"write!(f, r#"{"rule": "x"}"#)?; tail"###;
+    assert_eq!(idents(src), ["write", "f", "tail"]);
+}
+
+#[test]
+fn columns_are_tracked() {
+    let toks = lex("ab cd\n  ef");
+    let cols: Vec<(u32, u32)> = toks.iter().map(|t| (t.line, t.col)).collect();
+    assert_eq!(cols, [(1, 1), (1, 4), (2, 3)]);
+    // Columns reset across a multi-line string.
+    let toks = lex("\"a\nb\" x");
+    let x = toks
+        .iter()
+        .find(|t| matches!(&t.tok, Tok::Ident(n) if n == "x"))
+        .expect("x lexed");
+    assert_eq!((x.line, x.col), (2, 4));
+}

@@ -6,7 +6,9 @@
 //! `#![forbid(unsafe_code)]`, unbalanced `take_ports`/`restore_ports`, or
 //! drift between `crates/config` and the paper's Table I manifest fails the
 //! build with `file:line` diagnostics — before any differential run could
-//! notice the symptom.
+//! notice the symptom. The flow-sensitive simcheck tier rides in the same
+//! pass: shard-isolation for the epoch engine, fetch-slot leak freedom,
+//! and queue/credit deadlock freedom across the whole workspace.
 
 use std::path::Path;
 
@@ -73,4 +75,36 @@ fn seeded_violation_is_detected() {
     let diags = gpumem_lint::lint_source("seeded.rs", bad, false);
     assert!(diags.iter().any(|d| d.rule == "no-hash-collections"));
     assert!(diags.iter().any(|d| d.rule == "no-wall-clock"));
+}
+
+#[test]
+fn seeded_simcheck_violations_are_detected() {
+    // Self-test for the flow-sensitive tier: each analysis must fire on its
+    // seeded fixture when run through the same multi-file engine the
+    // workspace check uses.
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/lint/tests/fixtures");
+    let mut inputs = Vec::new();
+    for name in [
+        "parallel_cross_shard.rs",
+        "arena_slot_leak.rs",
+        "credit_cycle.rs",
+    ] {
+        inputs.push(gpumem_lint::FileInput {
+            label: name.to_owned(),
+            source: std::fs::read_to_string(fixtures.join(name)).expect("fixture exists"),
+            is_test: false,
+        });
+    }
+    let diags = gpumem_lint::lint_files(&inputs);
+    for rule in ["shard-isolation", "fetch-slot-leak", "queue-deadlock"] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{rule} did not fire on its seeded fixture:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
 }
