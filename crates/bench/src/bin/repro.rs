@@ -36,8 +36,18 @@
 //!   produces a bit-identical breakdown. With `--json DIR` also exports
 //!   the slowest fetches as Chrome trace-event JSON
 //!   (`trace_<benchmark>.json`, loadable in `chrome://tracing`).
-//! * `all`        — everything above except `perf`, `chaos` and `trace`
-//!   (default)
+//! * `sweep`      — crash-safe design-space sweep over a content-addressed
+//!   results store (`crates/sweep`). `--store DIR` selects the store;
+//!   `--spec FILE` supplies a JSON grid (default: the §V grid at
+//!   `--scale`); `--resume DIR` re-runs whatever spec the store already
+//!   holds, serving committed cells as cache hits; `--query DIR` lists the
+//!   store's committed digests without simulating anything. `--workers N`
+//!   bounds the pool, `--retries N` and `--backoff-ms N` set the retry
+//!   budget for host-dependent failures (deterministic failures never
+//!   retry). Exit status: 0 on success, 1 if any cell failed, 2 on a bad
+//!   spec or store.
+//! * `all`        — everything above except `perf`, `chaos`, `trace` and
+//!   `sweep` (default)
 //!
 //! `--scale F` scales the workloads (grid × F, iterations × √F) for quick
 //! runs; the shipped EXPERIMENTS.md numbers use the full scale (1.0).
@@ -114,6 +124,13 @@ struct Args {
     seeds: u64,
     repeat: usize,
     wedge_self_test: bool,
+    spec: Option<String>,
+    store: Option<String>,
+    resume: Option<String>,
+    query: Option<String>,
+    workers: usize,
+    retries: u32,
+    backoff_ms: u64,
     command: String,
 }
 
@@ -129,6 +146,13 @@ fn parse_args() -> Args {
     let mut seeds = 4;
     let mut repeat = 1;
     let mut wedge_self_test = false;
+    let mut spec = None;
+    let mut store = None;
+    let mut resume = None;
+    let mut query = None;
+    let mut workers = 0;
+    let mut retries = 2;
+    let mut backoff_ms = 0;
     let mut command = "all".to_owned();
     // simlint::allow(no-env, reason = "host CLI argument parsing")
     let mut it = std::env::args().skip(1);
@@ -203,8 +227,48 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--repeat needs a positive count"));
             }
             "--wedge-self-test" => wedge_self_test = true,
+            "--spec" => {
+                spec = Some(it.next().unwrap_or_else(|| die("--spec needs a file")));
+            }
+            "--store" => {
+                store = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--store needs a directory")),
+                );
+            }
+            "--resume" => {
+                resume = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--resume needs a store directory")),
+                );
+            }
+            "--query" => {
+                query = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--query needs a store directory")),
+                );
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a count (0 = one per core)"));
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--retries needs a positive attempt budget"));
+            }
+            "--backoff-ms" => {
+                backoff_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--backoff-ms needs a millisecond count"));
+            }
             "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf"
-            | "chaos" | "trace" | "all" => {
+            | "chaos" | "trace" | "sweep" | "all" => {
                 command = arg;
             }
             other => die(&format!("unknown argument: {other}")),
@@ -222,6 +286,13 @@ fn parse_args() -> Args {
         seeds,
         repeat,
         wedge_self_test,
+        spec,
+        store,
+        resume,
+        query,
+        workers,
+        retries,
+        backoff_ms,
         command,
     }
 }
@@ -231,8 +302,9 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--epoch N|auto] \
          [--check FILE] [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N] \
-         [--wedge-self-test] \
-         [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]"
+         [--wedge-self-test] [--spec FILE] [--store DIR] [--resume DIR] [--query DIR] \
+         [--workers N] [--retries N] [--backoff-ms N] \
+         [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|sweep|all]"
     );
     std::process::exit(2)
 }
@@ -1087,6 +1159,128 @@ fn run_trace(
     dump_json(json, "trace", &rows);
 }
 
+/// The `sweep` command: a crash-safe, resumable grid run over a
+/// content-addressed results store (see `crates/sweep`).
+///
+/// `--query DIR` never simulates: it expands the store's spec (or
+/// `--spec`), peeks every cell read-only, and prints the committed
+/// digests plus the store digest — the line CI diffs against a reference
+/// run. Otherwise the spec comes from `--spec FILE`, from the store's own
+/// `spec.json` under `--resume DIR`, or defaults to the §V grid at
+/// `--scale`.
+fn run_sweep_cmd(args: &Args) -> ! {
+    use gpumem_sweep::{ResultStore, SweepOptions, SweepSpec};
+
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2)
+    };
+    let spec_from_flag = || -> Option<SweepSpec> {
+        args.spec.as_ref().map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            SweepSpec::from_json(&text).unwrap_or_else(|e| fail(e.to_string()))
+        })
+    };
+    let stored_spec = |dir: &str| -> SweepSpec {
+        let store =
+            ResultStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| fail(e.to_string()));
+        store
+            .load_spec()
+            .unwrap_or_else(|e| fail(e.to_string()))
+            .unwrap_or_else(|| fail(format!("{dir} has no spec.json; pass --spec")))
+    };
+
+    if let Some(dir) = &args.query {
+        let spec = spec_from_flag().unwrap_or_else(|| stored_spec(dir));
+        let store =
+            ResultStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| fail(e.to_string()));
+        let cells = spec.expand().unwrap_or_else(|e| fail(e.to_string()));
+        let mut committed = 0usize;
+        for cell in &cells {
+            match store.peek(cell.key) {
+                Ok(Some(env)) => {
+                    committed += 1;
+                    println!(
+                        "cell {} {} committed {}",
+                        env.key, env.label, env.result_digest
+                    );
+                }
+                Ok(None) => println!("cell {} {} missing", cell.key, cell.label()),
+                Err(e) => println!("cell {} {} CORRUPT ({e})", cell.key, cell.label()),
+            }
+        }
+        let keys: Vec<_> = cells.iter().map(|c| c.key).collect();
+        let digest = store
+            .store_digest(&keys)
+            .unwrap_or_else(|e| fail(e.to_string()));
+        println!("committed: {committed}/{}", cells.len());
+        println!("store digest: {digest}");
+        std::process::exit(0)
+    }
+
+    let (store_dir, spec) = match (&args.resume, &args.store) {
+        (Some(dir), _) => (
+            dir.clone(),
+            spec_from_flag().unwrap_or_else(|| stored_spec(dir)),
+        ),
+        (None, Some(dir)) => (
+            dir.clone(),
+            spec_from_flag().unwrap_or_else(|| SweepSpec::section_v(args.scale)),
+        ),
+        (None, None) => fail("sweep needs --store DIR (or --resume DIR / --query DIR)".into()),
+    };
+    let opts = SweepOptions {
+        workers: args.workers,
+        retry: gpumem::RetryPolicy {
+            max_attempts: args.retries,
+            backoff: gpumem::Backoff {
+                base_ms: args.backoff_ms,
+                max_ms: args.backoff_ms.saturating_mul(16),
+                seed: 0xC0FFEE,
+            },
+        },
+        progress: true,
+        crash_after_journal_bytes: None,
+    };
+    eprintln!(
+        "sweep {}: {} into {store_dir} ({} attempt(s) per host-dependent failure)",
+        spec.name,
+        if args.resume.is_some() {
+            "resuming"
+        } else {
+            "running"
+        },
+        args.retries
+    );
+    let summary = gpumem_sweep::run_sweep(&spec, std::path::Path::new(&store_dir), &opts)
+        .unwrap_or_else(|e| fail(e.to_string()));
+    for o in &summary.outcomes {
+        println!(
+            "cell {} {} {:?}{}",
+            o.key,
+            o.label,
+            o.status,
+            o.result_digest
+                .as_deref()
+                .map(|d| format!(" {d}"))
+                .unwrap_or_else(|| format!(" ({})", o.detail)),
+        );
+    }
+    println!(
+        "cells: {}  cache hits: {}  computed: {}  recomputed: {}  failed: {}  attempts: {}",
+        summary.cells,
+        summary.cache_hits,
+        summary.computed,
+        summary.recomputed,
+        summary.failed,
+        summary.attempts_total,
+    );
+    println!("simulations run: {}", summary.simulations_run());
+    println!("store digest: {}", summary.store_digest);
+    std::process::exit(if summary.failed > 0 { 1 } else { 0 })
+}
+
 fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
     eprintln!("ablation: scaling each Table I row individually ...");
     let study = ablation_study(cfg, &suite(scale)).expect("ablation study completes");
@@ -1130,6 +1324,7 @@ fn main() {
             }
         }
         "trace" => run_trace(&cfg, args.scale, &args.json_dir, &args.threads, &args.epoch),
+        "sweep" => run_sweep_cmd(&args),
         "latency" => run_latency(&cfg, args.scale, &args.json_dir),
         "chaos" => {
             if args.wedge_self_test {

@@ -40,8 +40,9 @@ mod run;
 pub mod text;
 
 pub use run::{
-    run_benchmark, run_benchmarks_parallel, run_benchmarks_resilient, BatchOutcome,
-    BenchmarkFailure, RunSpec, DEFAULT_MAX_CYCLES,
+    retry_with_policy, run_benchmark, run_benchmarks_parallel, run_benchmarks_resilient,
+    run_benchmarks_resilient_with, Backoff, BatchOutcome, BenchmarkFailure, RetryPolicy, RunSpec,
+    DEFAULT_MAX_CYCLES,
 };
 
 /// Re-export of the configuration crate (baseline + Table I design space).

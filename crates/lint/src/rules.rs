@@ -43,6 +43,8 @@ pub const NO_PANIC_IN_MODEL: &str = "no-panic-in-model";
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
 /// A `simlint::allow` directive that suppressed nothing.
 pub const UNUSED_ALLOW: &str = "unused-allow";
+/// Raw filesystem I/O in sweep code outside its journal module.
+pub const FS_OUTSIDE_JOURNAL: &str = "fs-outside-journal";
 /// Shard-context code touching fabric or cross-shard mutable state
 /// (simcheck tier).
 pub const SHARD_ISOLATION: &str = "shard-isolation";
@@ -117,6 +119,14 @@ pub const RULES: &[RuleInfo] = &[
         summary: "simlint::allow directives that suppress nothing are flagged \
                   (warning; error under --deny-all)",
         suppressible: false,
+    },
+    RuleInfo {
+        id: FS_OUTSIDE_JOURNAL,
+        summary: "sweep-crate code must route all filesystem I/O through its \
+                  journal module (std::fs / File / OpenOptions are denied \
+                  elsewhere, so the write-ahead commit protocol cannot be \
+                  bypassed)",
+        suppressible: true,
     },
     RuleInfo {
         id: SHARD_ISOLATION,
@@ -296,6 +306,10 @@ pub fn run(file: &str, code: &[Token], is_test: bool) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let exempt = |line: u32| is_test || in_spans(&spans, line);
     let model = in_model_crate(file);
+    // The sweep crate's crash-safety guarantee holds only if every disk
+    // mutation goes through its journal module; any other sweep file doing
+    // raw filesystem I/O silently bypasses the write-ahead protocol.
+    let sweep_scope = file.contains("sweep") && !file.ends_with("journal.rs");
 
     for (i, t) in code.iter().enumerate() {
         let line = t.line;
@@ -368,6 +382,28 @@ pub fn run(file: &str, code: &[Token], is_test: bool) -> Vec<Diagnostic> {
                 "plumb configuration explicitly (GpuConfig / function arguments); \
                  host CLIs may allowlist with a reason",
             ));
+        }
+        if sweep_scope && !exempt(line) {
+            // `std::fs` is caught at `std`; a bare `fs::…` (via `use
+            // std::fs`) is caught at `fs` unless it is the tail of a
+            // `std::fs` path already flagged one token earlier.
+            let fs_path = is_path2(code, i, "std", "fs")
+                || (ident_at(code, i) == Some("fs")
+                    && is_punct(code, i + 1, ':')
+                    && is_punct(code, i + 2, ':')
+                    && !is_punct(code, i.wrapping_sub(1), ':'));
+            let fs_type = matches!(ident_at(code, i), Some("File" | "OpenOptions"));
+            if fs_path || fs_type {
+                diags.push(Diagnostic::error(
+                    file,
+                    line,
+                    FS_OUTSIDE_JOURNAL,
+                    "raw filesystem I/O in sweep code outside the journal module",
+                    "route writes through DiskStore (crates/sweep/src/journal.rs) \
+                     so every mutation follows the write-ahead journal + atomic \
+                     rename commit protocol",
+                ));
+            }
         }
         if is_path2(code, i, "thread", "current") && !exempt(line) {
             diags.push(Diagnostic::error(

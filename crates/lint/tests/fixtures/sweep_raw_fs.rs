@@ -1,0 +1,13 @@
+//! Seeded violation fixture: sweep-crate code bypassing the journal
+//! module with raw filesystem writes and reading the wall clock directly.
+//! Expected diagnostics: `fs-outside-journal` (std::fs::write, File) and
+//! `no-wall-clock` (SystemTime).
+
+use std::time::SystemTime;
+
+pub fn save_results_bypassing_the_journal(path: &str, body: &str) {
+    let started = SystemTime::now();
+    std::fs::write(path, body).expect("raw write, no journal record");
+    let _f = std::fs::File::open(path);
+    let _elapsed = started.elapsed();
+}

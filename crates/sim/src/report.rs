@@ -102,7 +102,7 @@ pub struct HostPerf {
 ///
 /// Serializable so the repro harness can persist raw results next to
 /// `EXPERIMENTS.md`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimReport {
     /// Benchmark (kernel) name.
     pub benchmark: String,

@@ -1,0 +1,434 @@
+//! Sweep specifications: the grid of cells a campaign covers, and the
+//! canonical content address of each cell.
+
+use gpumem_config::{DesignPoint, GpuConfig};
+use gpumem_sim::{EpochPolicy, MemoryMode};
+use gpumem_types::{CellKey, SweepError};
+use gpumem_workloads::{params_of, WorkloadParams, BENCHMARK_NAMES};
+use serde::{Deserialize, Serialize};
+
+use crate::CODE_VERSION_SALT;
+
+/// Which engine executes a cell.
+///
+/// Every engine is bit-identical on the simulated results (the
+/// differential suite proves it), but the engine is still part of the cell
+/// key: a campaign that sweeps engines is asking precisely whether that
+/// invariance holds, so its cells must not collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The event-driven kernel behind `GpuSimulator::run`.
+    Event,
+    /// The per-cycle stepped oracle.
+    Stepped,
+    /// Epoch-synchronized sharded execution.
+    Parallel {
+        /// Worker threads inside the simulation.
+        threads: usize,
+        /// Epoch policy (`auto`, or a fixed cycle cap).
+        epoch: EpochPolicy,
+    },
+}
+
+impl EngineChoice {
+    /// Parses the spec spelling: `event`, `stepped` or
+    /// `parallel:<threads>:<auto|N>`.
+    pub fn parse(spec: &str) -> Option<EngineChoice> {
+        match spec {
+            "event" => return Some(EngineChoice::Event),
+            "stepped" => return Some(EngineChoice::Stepped),
+            _ => {}
+        }
+        let rest = spec.strip_prefix("parallel:")?;
+        let (threads, epoch) = rest.split_once(':')?;
+        let threads: usize = threads.parse().ok().filter(|&n| n > 0)?;
+        let epoch = match epoch {
+            "auto" => EpochPolicy::Auto,
+            n => {
+                let n: u64 = n.parse().ok().filter(|&n| n > 0)?;
+                if n == 1 {
+                    EpochPolicy::PerCycle
+                } else {
+                    EpochPolicy::Fixed(n)
+                }
+            }
+        };
+        Some(EngineChoice::Parallel { threads, epoch })
+    }
+
+    /// The canonical spelling, used in cell keys and progress output.
+    pub fn canonical(&self) -> String {
+        match self {
+            EngineChoice::Event => "event".to_owned(),
+            EngineChoice::Stepped => "stepped".to_owned(),
+            EngineChoice::Parallel { threads, epoch } => {
+                let e = match epoch {
+                    EpochPolicy::PerCycle => "1".to_owned(),
+                    EpochPolicy::Fixed(n) => n.to_string(),
+                    EpochPolicy::Auto => "auto".to_owned(),
+                };
+                format!("parallel:{threads}:{e}")
+            }
+        }
+    }
+}
+
+/// Parses a Section IV design-point label (`baseline`, `L1`, `L2`, `DRAM`,
+/// `L1+L2`, `L2+DRAM`, `L1+DRAM`, `L1+L2+DRAM`).
+pub fn parse_design_point(label: &str) -> Option<DesignPoint> {
+    let dp = match label {
+        "baseline" => DesignPoint::BASELINE,
+        "L1" => DesignPoint::L1_ONLY,
+        "L2" => DesignPoint::L2_ONLY,
+        "DRAM" => DesignPoint::DRAM_ONLY,
+        "L1+L2" => DesignPoint::L1_L2,
+        "L2+DRAM" => DesignPoint::L2_DRAM,
+        "L1+DRAM" => DesignPoint {
+            l1: true,
+            l2: false,
+            dram: true,
+        },
+        "L1+L2+DRAM" => DesignPoint::ALL,
+        _ => return None,
+    };
+    Some(dp)
+}
+
+/// Parses a memory-mode spelling: `hierarchy` or `fixed:<latency>`.
+pub fn parse_mode(spec: &str) -> Option<MemoryMode> {
+    if spec == "hierarchy" {
+        return Some(MemoryMode::Hierarchy);
+    }
+    let n = spec.strip_prefix("fixed:")?.parse().ok()?;
+    Some(MemoryMode::FixedLatency(n))
+}
+
+/// A sweep campaign: the cross product of every axis below, one cell per
+/// combination.
+///
+/// Serialized as plain JSON (every field explicit — the offline serde
+/// stand-in has no defaulting) and stored inside the results store as
+/// `spec.json`, which is what makes `repro sweep --resume <dir>` possible
+/// without re-supplying the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Campaign name (free-form, printed in summaries).
+    pub name: String,
+    /// Workload scale factor (1.0 = the paper's full scale).
+    pub scale: f64,
+    /// Benchmark names (see `gpumem_workloads::BENCHMARK_NAMES`).
+    pub workloads: Vec<String>,
+    /// Design-point labels (see [`parse_design_point`]).
+    pub design_points: Vec<String>,
+    /// Workload seed offsets; 0 is the benchmark's canonical seed.
+    pub seeds: Vec<u64>,
+    /// Memory modes (see [`parse_mode`]).
+    pub modes: Vec<String>,
+    /// Engines (see [`EngineChoice::parse`]).
+    pub engines: Vec<String>,
+    /// Per-cell cycle budget (watchdog).
+    pub max_cycles: u64,
+    /// Optional per-cell wall-clock deadline in seconds.
+    pub deadline_seconds: Option<f64>,
+}
+
+impl SweepSpec {
+    /// The paper's §V design-space grid: every benchmark × the Section IV
+    /// design points (plus baseline) on the full hierarchy, one seed, the
+    /// event engine.
+    pub fn section_v(scale: f64) -> SweepSpec {
+        SweepSpec {
+            name: "section-v".to_owned(),
+            scale,
+            workloads: BENCHMARK_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            design_points: ["baseline", "L1", "L2", "DRAM", "L1+L2", "L2+DRAM"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            seeds: vec![0],
+            modes: vec!["hierarchy".to_owned()],
+            engines: vec!["event".to_owned()],
+            max_cycles: gpumem::DEFAULT_MAX_CYCLES,
+            deadline_seconds: None,
+        }
+    }
+
+    /// Parses a JSON spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::SpecInvalid`] on malformed JSON or a failed
+    /// [`SweepSpec::validate`].
+    pub fn from_json(json: &str) -> Result<SweepSpec, SweepError> {
+        let spec: SweepSpec = serde_json::from_str(json).map_err(|e| SweepError::SpecInvalid {
+            detail: format!("unparseable spec JSON: {e:?}"),
+        })?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as the JSON stored in the results store.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Checks every axis: non-empty, known benchmarks, parseable labels.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::SpecInvalid`] naming the offending entry.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        let invalid = |detail: String| Err(SweepError::SpecInvalid { detail });
+        // NaN must fail too, hence the explicit is_finite arm.
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return invalid(format!("scale must be positive, got {}", self.scale));
+        }
+        if self.max_cycles == 0 {
+            return invalid("max_cycles must be positive".to_owned());
+        }
+        for (axis, len) in [
+            ("workloads", self.workloads.len()),
+            ("design_points", self.design_points.len()),
+            ("seeds", self.seeds.len()),
+            ("modes", self.modes.len()),
+            ("engines", self.engines.len()),
+        ] {
+            if len == 0 {
+                return invalid(format!("axis `{axis}` is empty"));
+            }
+        }
+        for w in &self.workloads {
+            if params_of(w).is_none() {
+                return invalid(format!("unknown benchmark {w:?}"));
+            }
+        }
+        for d in &self.design_points {
+            if parse_design_point(d).is_none() {
+                return invalid(format!("unknown design-point label {d:?}"));
+            }
+        }
+        for m in &self.modes {
+            if parse_mode(m).is_none() {
+                return invalid(format!("bad mode {m:?} (want `hierarchy` or `fixed:<N>`)"));
+            }
+        }
+        for e in &self.engines {
+            if EngineChoice::parse(e).is_none() {
+                return invalid(format!(
+                    "bad engine {e:?} (want `event`, `stepped` or `parallel:<threads>:<epoch>`)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into concrete cells, in deterministic axis order
+    /// (workload-major, then design point, mode, engine, seed).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::SpecInvalid`] via [`SweepSpec::validate`].
+    pub fn expand(&self) -> Result<Vec<SweepCell>, SweepError> {
+        self.validate()?;
+        let baseline = GpuConfig::gtx480();
+        let mut cells = Vec::new();
+        for w in &self.workloads {
+            let base_params = params_of(w).expect("validated above").scaled(self.scale);
+            for d in &self.design_points {
+                let dp = parse_design_point(d).expect("validated above");
+                let cfg = dp.apply(&baseline);
+                for m in &self.modes {
+                    let mode = parse_mode(m).expect("validated above");
+                    for e in &self.engines {
+                        let engine = EngineChoice::parse(e).expect("validated above");
+                        for &seed in &self.seeds {
+                            let mut params = base_params.clone();
+                            params.seed = params.seed.wrapping_add(seed);
+                            cells.push(SweepCell::new(
+                                w.clone(),
+                                d.clone(),
+                                seed,
+                                cfg.clone(),
+                                params,
+                                mode,
+                                engine,
+                                self.max_cycles,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One fully-resolved simulation of a sweep: everything needed to run it,
+/// plus its content address.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The cell's content address (see [`SweepCell::new`] for what it
+    /// covers).
+    pub key: CellKey,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Design-point label.
+    pub design_point: String,
+    /// Seed offset from the spec's `seeds` axis.
+    pub seed: u64,
+    /// The concrete configuration (design point already applied).
+    pub cfg: GpuConfig,
+    /// The concrete workload parameters (scale and seed already applied).
+    pub params: WorkloadParams,
+    /// Memory mode.
+    pub mode: MemoryMode,
+    /// Executing engine.
+    pub engine: EngineChoice,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl SweepCell {
+    /// Builds the cell and computes its content address: an FNV digest of
+    /// the canonical JSON of the configuration and workload parameters,
+    /// the mode, the engine, the cycle budget and the crate's
+    /// [`CODE_VERSION_SALT`] — everything the simulated result is a pure
+    /// function of. Wall-clock deadlines are deliberately excluded: they
+    /// bound *host* time and cannot change a completed result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        benchmark: String,
+        design_point: String,
+        seed: u64,
+        cfg: GpuConfig,
+        params: WorkloadParams,
+        mode: MemoryMode,
+        engine: EngineChoice,
+        max_cycles: u64,
+    ) -> SweepCell {
+        let canonical = format!(
+            "cfg={}|params={}|mode={}|engine={}|max_cycles={}|salt={}",
+            serde_json::to_string(&cfg).expect("config serializes"),
+            serde_json::to_string(&params).expect("params serialize"),
+            mode,
+            engine.canonical(),
+            max_cycles,
+            CODE_VERSION_SALT,
+        );
+        SweepCell {
+            key: CellKey::from_canonical(&canonical),
+            benchmark,
+            design_point,
+            seed,
+            cfg,
+            params,
+            mode,
+            engine,
+            max_cycles,
+        }
+    }
+
+    /// Human-readable cell label for progress streams and summaries.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/seed{}",
+            self.benchmark,
+            self.design_point,
+            self.mode,
+            self.engine.canonical(),
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "t".into(),
+            scale: 0.05,
+            workloads: vec!["sc".into(), "nn".into()],
+            design_points: vec!["baseline".into(), "L2".into()],
+            seeds: vec![0],
+            modes: vec!["hierarchy".into()],
+            engines: vec!["event".into()],
+            max_cycles: 1_000_000,
+            deadline_seconds: None,
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_full_cross_product_with_distinct_keys() {
+        let cells = tiny_spec().expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let keys: std::collections::BTreeSet<String> =
+            cells.iter().map(|c| c.key.to_string()).collect();
+        assert_eq!(keys.len(), 4, "cell keys must be pairwise distinct");
+    }
+
+    #[test]
+    fn keys_are_stable_across_expansions_and_sensitive_to_axes() {
+        let a = tiny_spec().expand().unwrap();
+        let b = tiny_spec().expand().unwrap();
+        assert_eq!(
+            a.iter().map(|c| c.key).collect::<Vec<_>>(),
+            b.iter().map(|c| c.key).collect::<Vec<_>>()
+        );
+        let mut seeded = tiny_spec();
+        seeded.seeds = vec![1];
+        let c = seeded.expand().unwrap();
+        assert_ne!(a[0].key, c[0].key, "seed must be part of the address");
+        let mut scaled = tiny_spec();
+        scaled.scale = 0.1;
+        let d = scaled.expand().unwrap();
+        assert_ne!(a[0].key, d[0].key, "scale must be part of the address");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = tiny_spec();
+        let back = SweepSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn validation_names_the_offender() {
+        let mut bad = tiny_spec();
+        bad.workloads.push("nope".into());
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+
+        let mut bad = tiny_spec();
+        bad.engines = vec!["parallel:0:auto".into()];
+        assert!(bad.validate().is_err());
+
+        let mut bad = tiny_spec();
+        bad.modes = Vec::new();
+        assert!(bad.validate().unwrap_err().to_string().contains("modes"));
+    }
+
+    #[test]
+    fn engine_spellings_round_trip() {
+        for s in ["event", "stepped", "parallel:4:auto", "parallel:2:16"] {
+            let e = EngineChoice::parse(s).unwrap();
+            assert_eq!(e.canonical(), *s);
+        }
+        assert_eq!(
+            EngineChoice::parse("parallel:2:1"),
+            Some(EngineChoice::Parallel {
+                threads: 2,
+                epoch: EpochPolicy::PerCycle
+            })
+        );
+        assert!(EngineChoice::parse("warp-drive").is_none());
+    }
+
+    #[test]
+    fn section_v_grid_shape() {
+        let spec = SweepSpec::section_v(0.1);
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 8 * 6, "8 benchmarks x 6 design points");
+    }
+}

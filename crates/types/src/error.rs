@@ -94,6 +94,22 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// True when the failure depends on *host* conditions (wall-clock
+    /// load, a panicking worker thread) rather than on the simulated
+    /// machine. Host-dependent failures are worth retrying — the same
+    /// inputs can succeed on a quieter machine or a luckier schedule.
+    /// Everything else is bit-reproducible from `(config, workload,
+    /// engine)`: a wedge, a queue overflow or an expired cycle budget will
+    /// fail the retry identically, so retry policies fail fast on them.
+    pub fn is_host_dependent(&self) -> bool {
+        matches!(
+            self,
+            SimError::DeadlineExceeded { .. } | SimError::WorkerPanic { .. }
+        )
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -306,6 +322,34 @@ mod tests {
         assert!(s.contains("resp_xbar.ingress(held) -> l2_to_icnt(full)"));
         assert!(s.contains("waiting 520 cycles"));
         assert!(s.contains("l2_to_icnt=8"));
+    }
+
+    #[test]
+    fn host_dependence_split_matches_the_retry_contract() {
+        assert!(SimError::DeadlineExceeded {
+            cycle: 1,
+            budget_seconds: 0.5
+        }
+        .is_host_dependent());
+        assert!(SimError::WorkerPanic {
+            cycle: 1,
+            chunk: 0,
+            message: "boom".into()
+        }
+        .is_host_dependent());
+        // Deterministic failures reproduce bit-identically on retry.
+        assert!(!SimError::Watchdog {
+            cycle: 1,
+            instructions: 0,
+            detail: String::new()
+        }
+        .is_host_dependent());
+        assert!(!SimError::QueueOverflow {
+            component: "l2",
+            queue: "access",
+            cycle: 1
+        }
+        .is_host_dependent());
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod latency;
 mod queue;
 mod rng;
 mod slab;
+mod sweep;
 
 pub use addr::{Addr, LineAddr};
 pub use cycle::Cycle;
@@ -62,3 +63,4 @@ pub use latency::LatencyStats;
 pub use queue::{BoundedQueue, PushError, QueueStats, SimQueue};
 pub use rng::SimRng;
 pub use slab::{FetchArena, Slab, SlotId};
+pub use sweep::{fnv1a64, CellKey, SweepError};

@@ -78,6 +78,40 @@ fn seeded_violation_is_detected() {
 }
 
 #[test]
+fn sweep_crate_fs_discipline_is_enforced() {
+    // The sweep crate's crash-safety argument rests on every disk mutation
+    // going through its journal module. Prove the rule actually fires:
+    // lint the seeded fixture (sweep-named code doing raw std::fs writes
+    // and reading SystemTime) through the same engine the workspace check
+    // uses.
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/lint/tests/fixtures/sweep_raw_fs.rs");
+    let src = std::fs::read_to_string(&fixture).expect("fixture exists");
+    let diags = gpumem_lint::lint_source("crates/sweep/src/raw_fs.rs", &src, false);
+    for rule in ["fs-outside-journal", "no-wall-clock"] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{rule} did not fire on the seeded sweep fixture:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    // The same source under the journal module's own path is allowed to
+    // touch the filesystem (that is the point of the module)...
+    let journal = gpumem_lint::lint_source("crates/sweep/src/journal.rs", &src, false);
+    assert!(
+        !journal.iter().any(|d| d.rule == "fs-outside-journal"),
+        "journal.rs must be exempt from fs-outside-journal"
+    );
+    // ...and sweep test code is exempt like all test code.
+    let test_code = gpumem_lint::lint_source("crates/sweep/tests/disk.rs", &src, true);
+    assert!(!test_code.iter().any(|d| d.rule == "fs-outside-journal"));
+}
+
+#[test]
 fn seeded_simcheck_violations_are_detected() {
     // Self-test for the flow-sensitive tier: each analysis must fire on its
     // seeded fixture when run through the same multi-file engine the
