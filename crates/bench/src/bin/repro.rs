@@ -4,8 +4,10 @@
 //! ```text
 //! repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--epoch N|auto]
 //!       [--check FILE] [--min-ratio R] [--floor R] [--profile] [--seeds N]
-//!       [--repeat N] [--wedge-self-test]
-//!       [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|all]
+//!       [--repeat N] [--wedge-self-test] [--suite seed|ml|extended]
+//!       [--trace-file FILE]... [--out FILE]
+//!       [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|run|
+//!        trace-gen|sweep|all] [WORKLOAD]...
 //! ```
 //!
 //! * `fig1`       — Fig. 1 latency-tolerance sweep (17 points × 8 benchmarks)
@@ -36,6 +38,17 @@
 //!   produces a bit-identical breakdown. With `--json DIR` also exports
 //!   the slowest fetches as Chrome trace-event JSON
 //!   (`trace_<benchmark>.json`, loadable in `chrome://tracing`).
+//! * `run`        — executes the named workloads (and/or `--trace-file`
+//!   traces) through all three engines — event-driven, per-cycle stepped,
+//!   and sharded parallel at each `--threads` count — and requires every
+//!   report to be bit-identical (full canonical JSON, host block
+//!   stripped). A malformed trace file is a diagnosed, non-zero exit
+//!   naming the offending line, never a panic.
+//! * `trace-gen`  — encodes one workload (any synthetic benchmark name,
+//!   `--scale` applied) as a portable `gpumem-trace v1` text file, written
+//!   to `--out FILE` or stdout. The emitted trace replays bit-identically
+//!   to the synthetic original: `repro run gemm --trace-file <(repro
+//!   trace-gen gemm)`-style round trips are exact.
 //! * `sweep`      — crash-safe design-space sweep over a content-addressed
 //!   results store (`crates/sweep`). `--store DIR` selects the store;
 //!   `--spec FILE` supplies a JSON grid (default: the §V grid at
@@ -78,6 +91,17 @@
 //! host swing by tens of percent; CI gates use `--repeat 3`.
 //! `--profile` (perf only) switches the command to per-component
 //! host-time attribution instead of the engine comparison sweep.
+//! `--suite seed|ml|extended` selects the synthetic workload family the
+//! suite commands iterate: the paper's eight benchmarks (`seed`, the
+//! default), the three ML kernels (`ml`: tiled GEMM, im2col conv,
+//! attention), or both (`extended`).
+//! `--trace-file FILE` (repeatable) appends a `gpumem-trace v1` trace as
+//! an extra workload: suite commands (`fig1`, `perf`, `trace`, …) and
+//! `run` simulate it alongside the synthetics, and `sweep` adds a
+//! `trace:<path>` workload to the grid, content-addressed by the trace's
+//! byte digest rather than its path.
+//! `--out FILE` (trace-gen only) writes the encoded trace to a file
+//! instead of stdout.
 
 use std::sync::Arc;
 
@@ -131,6 +155,10 @@ struct Args {
     workers: usize,
     retries: u32,
     backoff_ms: u64,
+    suite: String,
+    trace_files: Vec<String>,
+    out: Option<String>,
+    targets: Vec<String>,
     command: String,
 }
 
@@ -153,6 +181,10 @@ fn parse_args() -> Args {
     let mut workers = 0;
     let mut retries = 2;
     let mut backoff_ms = 0;
+    let mut suite_choice = "seed".to_owned();
+    let mut trace_files = Vec::new();
+    let mut out = None;
+    let mut targets = Vec::new();
     let mut command = "all".to_owned();
     // simlint::allow(no-env, reason = "host CLI argument parsing")
     let mut it = std::env::args().skip(1);
@@ -267,12 +299,34 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--backoff-ms needs a millisecond count"));
             }
+            "--suite" => {
+                suite_choice = it
+                    .next()
+                    .filter(|s| matches!(s.as_str(), "seed" | "ml" | "extended"))
+                    .unwrap_or_else(|| die("--suite needs `seed`, `ml` or `extended`"));
+            }
+            "--trace-file" => {
+                trace_files.push(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace-file needs a trace file path")),
+                );
+            }
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| die("--out needs a file path")));
+            }
             "fig1" | "congestion" | "dse" | "table1" | "latency" | "ablation" | "perf"
-            | "chaos" | "trace" | "sweep" | "all" => {
+            | "chaos" | "trace" | "run" | "trace-gen" | "sweep" | "all" => {
                 command = arg;
             }
+            other if !other.starts_with('-') => targets.push(other.to_owned()),
             other => die(&format!("unknown argument: {other}")),
         }
+    }
+    if !targets.is_empty() && !matches!(command.as_str(), "run" | "trace-gen") {
+        die(&format!(
+            "workload names are only accepted by `run` and `trace-gen` (got {:?})",
+            targets[0]
+        ));
     }
     Args {
         scale,
@@ -293,6 +347,10 @@ fn parse_args() -> Args {
         workers,
         retries,
         backoff_ms,
+        suite: suite_choice,
+        trace_files,
+        out,
+        targets,
         command,
     }
 }
@@ -303,18 +361,55 @@ fn die(msg: &str) -> ! {
         "usage: repro [--scale F] [--quick] [--json DIR] [--threads LIST] [--epoch N|auto] \
          [--check FILE] [--min-ratio R] [--floor R] [--profile] [--seeds N] [--repeat N] \
          [--wedge-self-test] [--spec FILE] [--store DIR] [--resume DIR] [--query DIR] \
-         [--workers N] [--retries N] [--backoff-ms N] \
-         [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|sweep|all]"
+         [--workers N] [--retries N] [--backoff-ms N] [--suite seed|ml|extended] \
+         [--trace-file FILE]... [--out FILE] \
+         [fig1|congestion|dse|table1|latency|ablation|perf|chaos|trace|run|trace-gen|sweep|all] \
+         [WORKLOAD]..."
     );
     std::process::exit(2)
 }
 
-fn suite(scale: f64) -> Vec<Arc<dyn KernelProgram>> {
-    if (scale - 1.0).abs() < f64::EPSILON {
+/// The synthetic names behind a `--suite` choice (validated at parse time).
+fn suite_names(choice: &str) -> Vec<&'static str> {
+    match choice {
+        "ml" => gpumem_workloads::ML_BENCHMARK_NAMES.to_vec(),
+        "extended" => gpumem_workloads::extended_names(),
+        _ => gpumem_workloads::BENCHMARK_NAMES.to_vec(),
+    }
+}
+
+fn suite(scale: f64, choice: &str) -> Vec<Arc<dyn KernelProgram>> {
+    if choice == "seed" && (scale - 1.0).abs() < f64::EPSILON {
         benchmarks()
     } else {
-        gpumem_bench::scaled_suite(scale)
+        gpumem_bench::scaled_named_suite(&suite_names(choice), scale)
     }
+}
+
+/// Reads and decodes one `gpumem-trace v1` file as a workload. Any
+/// failure — unreadable file or malformed trace — is a diagnosed exit 2;
+/// the parser's typed errors carry the offending line number, so the
+/// message pinpoints the defect without a stack trace.
+fn load_trace(path: &str) -> Arc<dyn KernelProgram> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read trace {path}: {e}");
+        std::process::exit(2)
+    });
+    match gpumem_tracefmt::parse_str(&text) {
+        Ok(kernel) => Arc::new(kernel),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// The workload list a suite command iterates: the selected synthetic
+/// family at `--scale`, plus one traced workload per `--trace-file`.
+fn programs_for(args: &Args) -> Vec<Arc<dyn KernelProgram>> {
+    let mut programs = suite(args.scale, &args.suite);
+    programs.extend(args.trace_files.iter().map(|p| load_trace(p)));
+    programs
 }
 
 fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
@@ -327,36 +422,36 @@ fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
     }
 }
 
-fn run_fig1(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_fig1(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     let mut profiles = Vec::new();
-    for program in suite(scale) {
+    for program in programs {
         eprintln!("fig1: sweeping {} ...", program.name());
-        let profile = latency_tolerance_profile(cfg, &program, &FIG1_LATENCIES)
-            .expect("fig1 sweep completes");
+        let profile =
+            latency_tolerance_profile(cfg, program, &FIG1_LATENCIES).expect("fig1 sweep completes");
         profiles.push(profile);
     }
     println!("{}", text::fig1_table(&profiles));
     dump_json(json, "fig1", &profiles);
 }
 
-fn run_congestion(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_congestion(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     eprintln!("congestion: running suite on baseline ...");
-    let study = congestion_study(cfg, &suite(scale)).expect("congestion study completes");
+    let study = congestion_study(cfg, programs).expect("congestion study completes");
     println!("{}", text::congestion_table(&study));
     dump_json(json, "congestion", &study);
 }
 
-fn run_dse(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_dse(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     eprintln!("dse: running suite over Section IV design points ...");
-    let study = design_space_exploration(cfg, &suite(scale), &DesignPoint::SECTION_IV)
+    let study = design_space_exploration(cfg, programs, &DesignPoint::SECTION_IV)
         .expect("design-space exploration completes");
     println!("{}", text::dse_table(&study));
     dump_json(json, "dse", &study);
 }
 
-fn run_latency(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_latency(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     eprintln!("latency: measuring loaded baseline latencies ...");
-    let study = congestion_study(cfg, &suite(scale)).expect("baseline runs complete");
+    let study = congestion_study(cfg, programs).expect("baseline runs complete");
     println!("SECTION II — BASELINE MEMORY LATENCIES vs IDEAL");
     println!("(ideal: L2 hit 120 cycles, DRAM 220 cycles via L2)");
     println!("{:>10} {:>24}", "benchmark", "avg L1 miss latency (cyc)");
@@ -519,6 +614,7 @@ fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
 
 fn run_perf(
     cfg: &GpuConfig,
+    programs: &[Arc<dyn KernelProgram>],
     scale: f64,
     json: &Option<String>,
     threads: &[usize],
@@ -527,9 +623,9 @@ fn run_perf(
 ) -> PerfSummary {
     let mut rows = Vec::new();
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
-        for program in suite(scale) {
+        for program in programs {
             eprintln!("perf: {} / {mode} ...", program.name());
-            rows.push(perf_row(cfg, &program, mode, threads, epoch, repeat));
+            rows.push(perf_row(cfg, program, mode, threads, epoch, repeat));
         }
     }
     println!("HOST THROUGHPUT — STEPPING vs SKIPPING vs SHARDED PARALLEL");
@@ -658,7 +754,7 @@ struct ProfileRow {
 /// starts from data rather than guesses. The instrumented runs pay for
 /// their own stopwatches — absolute wall times here are slightly above
 /// the uninstrumented sweep's, but the *shares* are what matter.
-fn run_profile(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_profile(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     println!("PER-COMPONENT HOST-TIME ATTRIBUTION — event-driven engine");
     println!("(awake%: fraction of executed cycles each component class actually ran)");
     println!(
@@ -681,9 +777,9 @@ fn run_profile(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
     );
     let mut rows = Vec::new();
     for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
-        for program in suite(scale) {
+        for program in programs {
             eprintln!("profile: {} / {mode} ...", program.name());
-            let (report, p) = GpuSimulator::new(cfg.clone(), Arc::clone(&program), mode)
+            let (report, p) = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
                 .run_profiled(gpumem::DEFAULT_MAX_CYCLES)
                 .expect("profiled run completes");
             let pct = |s: f64| 100.0 * s / p.wall_seconds.max(1e-12);
@@ -1088,20 +1184,20 @@ fn print_breakdown(name: &str, bd: &LatencyBreakdown) {
 /// and a bit-identity cross-check over all three engines.
 fn run_trace(
     cfg: &GpuConfig,
-    scale: f64,
+    programs: &[Arc<dyn KernelProgram>],
     json: &Option<String>,
     threads: &[usize],
     epoch: &EpochChoice,
 ) {
     println!("FETCH-LIFECYCLE LATENCY BREAKDOWN — §III queueing vs service decomposition");
     let mut rows = Vec::new();
-    for program in suite(scale) {
+    for program in programs {
         eprintln!("trace: {} ...", program.name());
-        let report = traced_sim(cfg, &program)
+        let report = traced_sim(cfg, program)
             .run(gpumem::DEFAULT_MAX_CYCLES)
             .expect("traced run completes");
         let reference = trace_canonical(&report);
-        let stepped = traced_sim(cfg, &program)
+        let stepped = traced_sim(cfg, program)
             .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
             .expect("traced stepped run completes");
         if trace_canonical(&stepped) != reference {
@@ -1112,7 +1208,7 @@ fn run_trace(
             std::process::exit(1);
         }
         for &n in threads {
-            let parallel = traced_sim(cfg, &program)
+            let parallel = traced_sim(cfg, program)
                 .run_parallel_with(gpumem::DEFAULT_MAX_CYCLES, n, epoch.policy)
                 .expect("traced parallel run completes");
             if trace_canonical(&parallel) != reference {
@@ -1159,6 +1255,94 @@ fn run_trace(
     dump_json(json, "trace", &rows);
 }
 
+/// The `run` command: every selected workload — named synthetics and/or
+/// `--trace-file` traces — executed through the event-driven, per-cycle
+/// stepped and sharded parallel engines, with every report required to be
+/// bit-identical to the stepped oracle (full canonical JSON, host block
+/// stripped). This is the deterministic-replay gate the trace frontend
+/// promises: a trace admits no engine-dependent behaviour.
+fn run_run(cfg: &GpuConfig, args: &Args) -> ! {
+    let mut programs: Vec<Arc<dyn KernelProgram>> = args
+        .targets
+        .iter()
+        .map(|name| {
+            gpumem_bench::scaled_benchmark(name, args.scale)
+                .unwrap_or_else(|| die(&format!("unknown benchmark {name:?}")))
+        })
+        .collect();
+    programs.extend(args.trace_files.iter().map(|p| load_trace(p)));
+    if programs.is_empty() {
+        die("run needs at least one workload name or --trace-file FILE");
+    }
+    println!(
+        "CROSS-ENGINE BIT-IDENTITY — stepped oracle vs event vs parallel at threads {:?}",
+        args.threads
+    );
+    let mut failed = false;
+    for mode in [MemoryMode::Hierarchy, MemoryMode::FixedLatency(800)] {
+        for program in &programs {
+            let stepped = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+                .run_stepped(gpumem::DEFAULT_MAX_CYCLES)
+                .expect("stepped run completes");
+            let reference = trace_canonical(&stepped);
+            let event = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+                .run(gpumem::DEFAULT_MAX_CYCLES)
+                .expect("event run completes");
+            if trace_canonical(&event) != reference {
+                eprintln!(
+                    "error: {} / {mode}: event engine diverged from the stepped oracle",
+                    program.name()
+                );
+                failed = true;
+            }
+            for &n in &args.threads {
+                let parallel = GpuSimulator::new(cfg.clone(), Arc::clone(program), mode)
+                    .run_parallel_with(gpumem::DEFAULT_MAX_CYCLES, n, args.epoch.policy)
+                    .expect("parallel run completes");
+                if trace_canonical(&parallel) != reference {
+                    eprintln!(
+                        "error: {} / {mode}: {n}-thread parallel run diverged from the \
+                         stepped oracle",
+                        program.name()
+                    );
+                    failed = true;
+                }
+            }
+            println!(
+                "run {:>10} / {mode}: {} cycles, {} instructions — engines bit-identical",
+                program.name(),
+                stepped.cycles,
+                stepped.instructions,
+            );
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 })
+}
+
+/// The `trace-gen` command: one synthetic workload encoded as a portable
+/// `gpumem-trace v1` text file at the configured cache-line size, written
+/// to `--out` or stdout. Decoding the emitted trace reproduces the
+/// synthetic instruction stream exactly, so trace-gen→run round trips are
+/// bit-identical.
+fn run_trace_gen(cfg: &GpuConfig, args: &Args) -> ! {
+    let [name] = args.targets.as_slice() else {
+        die("trace-gen needs exactly one workload name");
+    };
+    let program = gpumem_bench::scaled_benchmark(name, args.scale)
+        .unwrap_or_else(|| die(&format!("unknown benchmark {name:?}")));
+    let text = gpumem_tracefmt::encode_program(program.as_ref(), cfg.line_bytes)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    std::process::exit(0)
+}
+
 /// The `sweep` command: a crash-safe, resumable grid run over a
 /// content-addressed results store (see `crates/sweep`).
 ///
@@ -1182,19 +1366,33 @@ fn run_sweep_cmd(args: &Args) -> ! {
             SweepSpec::from_json(&text).unwrap_or_else(|e| fail(e.to_string()))
         })
     };
+    // Readers must never mint a store: a typo'd `--query`/`--resume` path
+    // is a typed exit-2 error, not a freshly-created empty directory.
     let stored_spec = |dir: &str| -> SweepSpec {
-        let store =
-            ResultStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| fail(e.to_string()));
+        let store = ResultStore::open_existing(std::path::Path::new(dir))
+            .unwrap_or_else(|e| fail(e.to_string()));
         store
             .load_spec()
             .unwrap_or_else(|e| fail(e.to_string()))
             .unwrap_or_else(|| fail(format!("{dir} has no spec.json; pass --spec")))
     };
+    let with_trace_files = |mut spec: SweepSpec| -> SweepSpec {
+        // Idempotent: a stored spec may already carry the trace workload
+        // (e.g. `--resume` with the same `--trace-file` flags), and a
+        // duplicate entry would double-count its cells.
+        for path in &args.trace_files {
+            let workload = format!("trace:{path}");
+            if !spec.workloads.contains(&workload) {
+                spec.workloads.push(workload);
+            }
+        }
+        spec
+    };
 
     if let Some(dir) = &args.query {
-        let spec = spec_from_flag().unwrap_or_else(|| stored_spec(dir));
-        let store =
-            ResultStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| fail(e.to_string()));
+        let spec = with_trace_files(spec_from_flag().unwrap_or_else(|| stored_spec(dir)));
+        let store = ResultStore::open_existing(std::path::Path::new(dir))
+            .unwrap_or_else(|e| fail(e.to_string()));
         let cells = spec.expand().unwrap_or_else(|e| fail(e.to_string()));
         let mut committed = 0usize;
         for cell in &cells {
@@ -1222,11 +1420,11 @@ fn run_sweep_cmd(args: &Args) -> ! {
     let (store_dir, spec) = match (&args.resume, &args.store) {
         (Some(dir), _) => (
             dir.clone(),
-            spec_from_flag().unwrap_or_else(|| stored_spec(dir)),
+            with_trace_files(spec_from_flag().unwrap_or_else(|| stored_spec(dir))),
         ),
         (None, Some(dir)) => (
             dir.clone(),
-            spec_from_flag().unwrap_or_else(|| SweepSpec::section_v(args.scale)),
+            with_trace_files(spec_from_flag().unwrap_or_else(|| SweepSpec::section_v(args.scale))),
         ),
         (None, None) => fail("sweep needs --store DIR (or --resume DIR / --query DIR)".into()),
     };
@@ -1281,9 +1479,9 @@ fn run_sweep_cmd(args: &Args) -> ! {
     std::process::exit(if summary.failed > 0 { 1 } else { 0 })
 }
 
-fn run_ablation(cfg: &GpuConfig, scale: f64, json: &Option<String>) {
+fn run_ablation(cfg: &GpuConfig, programs: &[Arc<dyn KernelProgram>], json: &Option<String>) {
     eprintln!("ablation: scaling each Table I row individually ...");
-    let study = ablation_study(cfg, &suite(scale)).expect("ablation study completes");
+    let study = ablation_study(cfg, programs).expect("ablation study completes");
     println!("{}", ablation_table(&study));
     dump_json(json, "ablation", &study);
 }
@@ -1299,16 +1497,18 @@ fn main() {
     }
     match args.command.as_str() {
         "table1" => println!("{}", text::table_i()),
-        "fig1" => run_fig1(&cfg, args.scale, &args.json_dir),
-        "congestion" => run_congestion(&cfg, args.scale, &args.json_dir),
-        "dse" => run_dse(&cfg, args.scale, &args.json_dir),
-        "ablation" => run_ablation(&cfg, args.scale, &args.json_dir),
+        "fig1" => run_fig1(&cfg, &programs_for(&args), &args.json_dir),
+        "congestion" => run_congestion(&cfg, &programs_for(&args), &args.json_dir),
+        "dse" => run_dse(&cfg, &programs_for(&args), &args.json_dir),
+        "ablation" => run_ablation(&cfg, &programs_for(&args), &args.json_dir),
         "perf" => {
+            let programs = programs_for(&args);
             if args.profile {
-                run_profile(&cfg, args.scale, &args.json_dir);
+                run_profile(&cfg, &programs, &args.json_dir);
             } else {
                 let summary = run_perf(
                     &cfg,
+                    &programs,
                     args.scale,
                     &args.json_dir,
                     &args.threads,
@@ -1323,9 +1523,17 @@ fn main() {
                 }
             }
         }
-        "trace" => run_trace(&cfg, args.scale, &args.json_dir, &args.threads, &args.epoch),
+        "trace" => run_trace(
+            &cfg,
+            &programs_for(&args),
+            &args.json_dir,
+            &args.threads,
+            &args.epoch,
+        ),
+        "run" => run_run(&cfg, &args),
+        "trace-gen" => run_trace_gen(&cfg, &args),
         "sweep" => run_sweep_cmd(&args),
-        "latency" => run_latency(&cfg, args.scale, &args.json_dir),
+        "latency" => run_latency(&cfg, &programs_for(&args), &args.json_dir),
         "chaos" => {
             if args.wedge_self_test {
                 run_wedge_self_test(&cfg, args.scale, args.seeds, &args.threads, &args.epoch);
@@ -1334,16 +1542,17 @@ fn main() {
             }
         }
         "all" => {
+            let programs = programs_for(&args);
             println!("{}", text::table_i());
-            run_latency(&cfg, args.scale, &args.json_dir);
+            run_latency(&cfg, &programs, &args.json_dir);
             println!();
-            run_fig1(&cfg, args.scale, &args.json_dir);
+            run_fig1(&cfg, &programs, &args.json_dir);
             println!();
-            run_congestion(&cfg, args.scale, &args.json_dir);
+            run_congestion(&cfg, &programs, &args.json_dir);
             println!();
-            run_dse(&cfg, args.scale, &args.json_dir);
+            run_dse(&cfg, &programs, &args.json_dir);
             println!();
-            run_ablation(&cfg, args.scale, &args.json_dir);
+            run_ablation(&cfg, &programs, &args.json_dir);
         }
         other => die(&format!("unknown command {other}")),
     }

@@ -21,7 +21,18 @@ use gpumem_workloads::{params_of, SyntheticKernel};
 /// Panics if any canonical benchmark name fails to resolve (cannot happen
 /// with the shipped suite).
 pub fn scaled_suite(factor: f64) -> Vec<Arc<dyn KernelProgram>> {
-    gpumem_workloads::BENCHMARK_NAMES
+    scaled_named_suite(&gpumem_workloads::BENCHMARK_NAMES, factor)
+}
+
+/// An arbitrary slice of canonical benchmark names, each scaled by
+/// `factor` — the building block behind `repro --suite seed|ml|extended`.
+///
+/// # Panics
+///
+/// Panics if any name fails to resolve through
+/// [`gpumem_workloads::params_of`]; callers pass canonical name lists.
+pub fn scaled_named_suite(names: &[&str], factor: f64) -> Vec<Arc<dyn KernelProgram>> {
+    names
         .iter()
         .map(|n| {
             let p = params_of(n).expect("canonical name").scaled(factor);
@@ -43,6 +54,12 @@ mod tests {
     #[test]
     fn scaled_suite_has_eight() {
         assert_eq!(scaled_suite(0.2).len(), 8);
+    }
+
+    #[test]
+    fn named_suite_covers_the_extended_family() {
+        let names = gpumem_workloads::extended_names();
+        assert_eq!(scaled_named_suite(&names, 0.2).len(), 11);
     }
 
     #[test]

@@ -290,6 +290,7 @@ const MODEL_CRATE_PREFIXES: &[&str] = &[
     "crates/dram/",
     "crates/cache/",
     "crates/simt/",
+    "crates/tracefmt/",
 ];
 
 fn in_model_crate(file: &str) -> bool {

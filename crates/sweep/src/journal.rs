@@ -63,6 +63,19 @@ fn io_err(path: &Path, e: &std::io::Error) -> SweepError {
     }
 }
 
+/// Reads a `gpumem-trace v1` workload file for a sweep.
+///
+/// Trace files are *inputs* to a sweep, not store state, but this crate's
+/// one-module filesystem policy applies to reads too — so the sweep path
+/// for loading them lives here. The caller parses the returned text.
+///
+/// # Errors
+///
+/// [`SweepError::Io`] if the file cannot be read.
+pub fn read_trace_file(path: &Path) -> Result<String, SweepError> {
+    fs::read_to_string(path).map_err(|e| io_err(path, &e))
+}
+
 /// The on-disk layout of one results store, plus the crash-injection
 /// metering used by the recovery tests.
 #[derive(Debug)]
@@ -104,6 +117,24 @@ impl DiskStore {
         };
         store.next_seq = store.read_journal()?.last().map(|r| r.seq + 1).unwrap_or(0);
         Ok(store)
+    }
+
+    /// Opens a store that must already exist — the read-only entry point
+    /// (`repro sweep --query`), which must not leave an empty store
+    /// skeleton behind when pointed at the wrong directory.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] if `root/cells` is not a directory (no store
+    /// here) or the journal cannot be read.
+    pub fn open_existing(root: &Path) -> Result<DiskStore, SweepError> {
+        if !root.join("cells").is_dir() {
+            return Err(SweepError::Io {
+                path: root.display().to_string(),
+                detail: "no results store at this path (expected a `cells/` directory)".to_owned(),
+            });
+        }
+        DiskStore::open(root)
     }
 
     /// Store root directory.

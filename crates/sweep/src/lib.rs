@@ -9,7 +9,8 @@
 //! * [`SweepSpec`] describes the grid; [`SweepSpec::expand`] turns it into
 //!   [`SweepCell`]s, each content-addressed by a [`CellKey`] — a 128-bit
 //!   FNV digest of everything the simulated result is a pure function of
-//!   (canonical config JSON, workload parameters, memory mode, engine,
+//!   (canonical config JSON, workload parameters — or, for `trace:<path>`
+//!   workloads, the trace file's byte digest — memory mode, engine,
 //!   cycle budget and [`CODE_VERSION_SALT`]).
 //! * [`ResultStore`] persists completed cells under `cells/<key>.json`
 //!   with a checksum header, committed via write-temp-then-atomic-rename

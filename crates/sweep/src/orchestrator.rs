@@ -16,7 +16,6 @@ use std::thread;
 use gpumem::{retry_with_policy, RetryPolicy};
 use gpumem_sim::{GpuSimulator, SimError, SimReport};
 use gpumem_types::SweepError;
-use gpumem_workloads::SyntheticKernel;
 use serde::{Deserialize, Serialize};
 
 use crate::journal::JournalEvent;
@@ -109,8 +108,7 @@ fn execute_cell(
     deadline_seconds: Option<f64>,
     retry: &RetryPolicy,
 ) -> (u32, Result<SimReport, SimError>) {
-    let program: Arc<dyn gpumem_simt::KernelProgram> =
-        Arc::new(SyntheticKernel::new(cell.params.clone()));
+    let program: Arc<dyn gpumem_simt::KernelProgram> = cell.workload.program();
     retry_with_policy(retry, cell.key.lo, || {
         let mut sim = GpuSimulator::new(cell.cfg.clone(), Arc::clone(&program), cell.mode);
         sim.set_deadline_seconds(deadline_seconds);

@@ -1,13 +1,20 @@
 //! Sweep specifications: the grid of cells a campaign covers, and the
 //! canonical content address of each cell.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use gpumem_config::{DesignPoint, GpuConfig};
 use gpumem_sim::{EpochPolicy, MemoryMode};
 use gpumem_types::{CellKey, SweepError};
-use gpumem_workloads::{params_of, WorkloadParams, BENCHMARK_NAMES};
+use gpumem_workloads::{params_of, WorkloadKind, BENCHMARK_NAMES};
 use serde::{Deserialize, Serialize};
 
+use crate::journal::read_trace_file;
 use crate::CODE_VERSION_SALT;
+
+/// The spec spelling of a trace-file workload: `trace:<path>`.
+const TRACE_PREFIX: &str = "trace:";
 
 /// Which engine executes a cell.
 ///
@@ -116,7 +123,11 @@ pub struct SweepSpec {
     pub name: String,
     /// Workload scale factor (1.0 = the paper's full scale).
     pub scale: f64,
-    /// Benchmark names (see `gpumem_workloads::BENCHMARK_NAMES`).
+    /// Workloads: benchmark names (the paper's eight or the ML family —
+    /// anything `gpumem_workloads::params_of` resolves), or `trace:<path>`
+    /// for a `gpumem-trace v1` file. Trace workloads ignore `scale` (a
+    /// recorded instruction stream has no scale knob) and are
+    /// content-addressed by the trace's byte digest, not its path.
     pub workloads: Vec<String>,
     /// Design-point labels (see [`parse_design_point`]).
     pub design_points: Vec<String>,
@@ -198,7 +209,13 @@ impl SweepSpec {
             }
         }
         for w in &self.workloads {
-            if params_of(w).is_none() {
+            if let Some(path) = w.strip_prefix(TRACE_PREFIX) {
+                if path.is_empty() {
+                    return invalid(
+                        "trace workload has an empty path (want `trace:<path>`)".into(),
+                    );
+                }
+            } else if params_of(w).is_none() {
                 return invalid(format!("unknown benchmark {w:?}"));
             }
         }
@@ -223,17 +240,21 @@ impl SweepSpec {
     }
 
     /// Expands the grid into concrete cells, in deterministic axis order
-    /// (workload-major, then design point, mode, engine, seed).
+    /// (workload-major, then design point, mode, engine, seed). Trace
+    /// workloads are read and decoded here — once per spec entry, shared
+    /// by every cell they expand into.
     ///
     /// # Errors
     ///
-    /// [`SweepError::SpecInvalid`] via [`SweepSpec::validate`].
+    /// [`SweepError::SpecInvalid`] via [`SweepSpec::validate`], or for a
+    /// trace file that cannot be read or decoded (the decode diagnostic,
+    /// with its line number, is embedded in the detail).
     pub fn expand(&self) -> Result<Vec<SweepCell>, SweepError> {
         self.validate()?;
         let baseline = GpuConfig::gtx480();
         let mut cells = Vec::new();
         for w in &self.workloads {
-            let base_params = params_of(w).expect("validated above").scaled(self.scale);
+            let base = self.resolve_workload(w)?;
             for d in &self.design_points {
                 let dp = parse_design_point(d).expect("validated above");
                 let cfg = dp.apply(&baseline);
@@ -242,14 +263,20 @@ impl SweepSpec {
                     for e in &self.engines {
                         let engine = EngineChoice::parse(e).expect("validated above");
                         for &seed in &self.seeds {
-                            let mut params = base_params.clone();
-                            params.seed = params.seed.wrapping_add(seed);
+                            let workload = match &base {
+                                WorkloadKind::Synthetic(p) => {
+                                    let mut params = p.clone();
+                                    params.seed = params.seed.wrapping_add(seed);
+                                    WorkloadKind::Synthetic(params)
+                                }
+                                traced => traced.clone(),
+                            };
                             cells.push(SweepCell::new(
                                 w.clone(),
                                 d.clone(),
                                 seed,
                                 cfg.clone(),
-                                params,
+                                workload,
                                 mode,
                                 engine,
                                 self.max_cycles,
@@ -260,6 +287,25 @@ impl SweepSpec {
             }
         }
         Ok(cells)
+    }
+
+    /// Resolves one `workloads` entry to a runnable workload (synthetic
+    /// parameters at this spec's scale, or a decoded trace).
+    fn resolve_workload(&self, entry: &str) -> Result<WorkloadKind, SweepError> {
+        if let Some(path) = entry.strip_prefix(TRACE_PREFIX) {
+            let text = read_trace_file(Path::new(path))?;
+            let kernel =
+                gpumem_tracefmt::parse_str(&text).map_err(|e| SweepError::SpecInvalid {
+                    detail: format!("trace workload {path:?} does not decode: {e}"),
+                })?;
+            return Ok(WorkloadKind::Traced(Arc::new(kernel)));
+        }
+        let params = params_of(entry)
+            .ok_or_else(|| SweepError::SpecInvalid {
+                detail: format!("unknown benchmark {entry:?}"),
+            })?
+            .scaled(self.scale);
+        Ok(WorkloadKind::Synthetic(params))
     }
 }
 
@@ -278,8 +324,9 @@ pub struct SweepCell {
     pub seed: u64,
     /// The concrete configuration (design point already applied).
     pub cfg: GpuConfig,
-    /// The concrete workload parameters (scale and seed already applied).
-    pub params: WorkloadParams,
+    /// The concrete workload: synthetic parameters (scale and seed
+    /// already applied) or a decoded trace.
+    pub workload: WorkloadKind,
     /// Memory mode.
     pub mode: MemoryMode,
     /// Executing engine.
@@ -290,26 +337,40 @@ pub struct SweepCell {
 
 impl SweepCell {
     /// Builds the cell and computes its content address: an FNV digest of
-    /// the canonical JSON of the configuration and workload parameters,
-    /// the mode, the engine, the cycle budget and the crate's
+    /// the canonical workload description, the configuration JSON, the
+    /// mode, the engine, the cycle budget and the crate's
     /// [`CODE_VERSION_SALT`] — everything the simulated result is a pure
-    /// function of. Wall-clock deadlines are deliberately excluded: they
-    /// bound *host* time and cannot change a completed result.
+    /// function of. A synthetic workload canonicalizes as its parameter
+    /// JSON (so pre-existing stores keep their keys); a traced workload as
+    /// its trace-byte digest plus the seed axis value, so moving or
+    /// renaming a trace file does not orphan its results, while editing
+    /// one byte of it does. Wall-clock deadlines are deliberately
+    /// excluded: they bound *host* time and cannot change a completed
+    /// result.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         benchmark: String,
         design_point: String,
         seed: u64,
         cfg: GpuConfig,
-        params: WorkloadParams,
+        workload: WorkloadKind,
         mode: MemoryMode,
         engine: EngineChoice,
         max_cycles: u64,
     ) -> SweepCell {
+        let workload_canonical = match &workload {
+            WorkloadKind::Synthetic(params) => format!(
+                "params={}",
+                serde_json::to_string(params).expect("params serialize")
+            ),
+            WorkloadKind::Traced(kernel) => {
+                format!("trace={}|seed={seed}", kernel.digest())
+            }
+        };
         let canonical = format!(
-            "cfg={}|params={}|mode={}|engine={}|max_cycles={}|salt={}",
+            "cfg={}|{}|mode={}|engine={}|max_cycles={}|salt={}",
             serde_json::to_string(&cfg).expect("config serializes"),
-            serde_json::to_string(&params).expect("params serialize"),
+            workload_canonical,
             mode,
             engine.canonical(),
             max_cycles,
@@ -321,7 +382,7 @@ impl SweepCell {
             design_point,
             seed,
             cfg,
-            params,
+            workload,
             mode,
             engine,
             max_cycles,
@@ -423,6 +484,81 @@ mod tests {
             })
         );
         assert!(EngineChoice::parse("warp-drive").is_none());
+    }
+
+    #[test]
+    fn trace_workloads_key_by_digest_not_path() {
+        let dir = std::env::temp_dir().join(format!("gpumem-spec-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let program = gpumem_workloads::by_name("nw").unwrap();
+        let text = gpumem_tracefmt::encode_program(program.as_ref(), 128).unwrap();
+        let (a, b) = (dir.join("a.trace"), dir.join("b.trace"));
+        std::fs::write(&a, &text).unwrap();
+        std::fs::write(&b, &text).unwrap();
+
+        let spec_for = |path: &std::path::Path| {
+            let mut s = tiny_spec();
+            s.workloads = vec![format!("trace:{}", path.display())];
+            s
+        };
+        let cells_a = spec_for(&a).expand().unwrap();
+        let cells_b = spec_for(&b).expand().unwrap();
+        assert_eq!(cells_a.len(), 2);
+        assert_eq!(
+            cells_a[0].key, cells_b[0].key,
+            "identical trace bytes must share a key regardless of path"
+        );
+        assert!(matches!(cells_a[0].workload, WorkloadKind::Traced(_)));
+
+        // One edited byte re-addresses every cell of that trace.
+        std::fs::write(&b, text.replace("ALU lat=4", "ALU lat=5")).unwrap();
+        let cells_c = spec_for(&b).expand().unwrap();
+        assert_ne!(cells_a[0].key, cells_c[0].key);
+
+        // The seed axis still distinguishes traced cells.
+        let mut seeded = spec_for(&a);
+        seeded.seeds = vec![3];
+        let cells_d = seeded.expand().unwrap();
+        assert_ne!(cells_a[0].key, cells_d[0].key);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_trace_workloads_are_typed_errors() {
+        let mut empty = tiny_spec();
+        empty.workloads = vec!["trace:".into()];
+        assert!(empty
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("empty path"));
+
+        let mut missing = tiny_spec();
+        missing.workloads = vec!["trace:/nonexistent/gpumem-no-such.trace".into()];
+        assert!(
+            missing.validate().is_ok(),
+            "file existence is checked at expansion"
+        );
+        assert!(matches!(missing.expand(), Err(SweepError::Io { .. })));
+
+        let dir = std::env::temp_dir().join(format!("gpumem-spec-badtrace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.trace");
+        std::fs::write(&bad, "gpumem-trace v1\nkernel name=x grid=zero\n").unwrap();
+        let mut spec = tiny_spec();
+        spec.workloads = vec![format!("trace:{}", bad.display())];
+        match spec.expand() {
+            Err(SweepError::SpecInvalid { detail }) => {
+                assert!(
+                    detail.contains("line 2"),
+                    "decode diagnostic kept: {detail}"
+                );
+            }
+            other => panic!("expected SpecInvalid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

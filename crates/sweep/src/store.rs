@@ -85,6 +85,29 @@ impl ResultStore {
         })
     }
 
+    /// Opens a store that must already exist; never creates directories.
+    /// This is what read-only consumers (`repro sweep --query`) use, so a
+    /// typo'd path is a typed error instead of a freshly-minted empty
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] if there is no store at `root` or its journal
+    /// cannot be read.
+    pub fn open_existing(root: &Path) -> Result<ResultStore, SweepError> {
+        let disk = DiskStore::open_existing(root)?;
+        let journal_committed = disk
+            .read_journal()?
+            .into_iter()
+            .filter(|r| r.event == JournalEvent::Commit)
+            .map(|r| r.cell)
+            .collect();
+        Ok(ResultStore {
+            disk,
+            journal_committed,
+        })
+    }
+
     /// Arms crash injection on the underlying journal (see
     /// [`DiskStore::set_crash_after`]).
     pub fn set_crash_after(&mut self, boundary: Option<u64>) {

@@ -165,3 +165,29 @@ fn crash_boundary_at_current_length_writes_nothing() {
     );
     let _ = fs::remove_dir_all(&root);
 }
+
+#[test]
+fn open_existing_refuses_to_mint_a_store() {
+    use gpumem_sweep::ResultStore;
+
+    let root = scratch("open-existing");
+    // Nothing on disk: both layers must error without creating anything.
+    match DiskStore::open_existing(&root) {
+        Err(SweepError::Io { detail, .. }) => assert!(detail.contains("no results store")),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+    assert!(matches!(
+        ResultStore::open_existing(&root),
+        Err(SweepError::Io { .. })
+    ));
+    assert!(!root.exists(), "a failed open must leave no store skeleton");
+
+    // Once a store exists, open_existing behaves exactly like open.
+    drop(DiskStore::open(&root).unwrap());
+    let mut store = DiskStore::open_existing(&root).unwrap();
+    store
+        .append_journal(JournalEvent::Opened, None, "x")
+        .unwrap();
+    assert!(ResultStore::open_existing(&root).is_ok());
+    let _ = fs::remove_dir_all(&root);
+}

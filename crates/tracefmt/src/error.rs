@@ -1,0 +1,145 @@
+//! Typed diagnostics for the trace decoder and encoder.
+
+use std::fmt;
+
+/// A failure decoding (or encoding) a kernel trace.
+///
+/// Every decode-side variant carries the 1-based line number of the
+/// offending input line, and [`TraceError::Syntax`] additionally the
+/// 1-based byte column of the offending token, so a malformed trace is
+/// diagnosable from the rendered message alone. The parser never panics:
+/// arbitrary input — truncated, bit-flipped, reordered — lands in exactly
+/// one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io {
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// A token does not parse: bad keyword, malformed `key=value`,
+    /// unparseable number, bad mask or address spelling.
+    Syntax {
+        /// 1-based input line.
+        line: u64,
+        /// 1-based byte column of the offending token.
+        column: u32,
+        /// What was expected and what was found.
+        detail: String,
+    },
+    /// Tokens parse but the trace is ill-formed: warp blocks duplicated,
+    /// reordered or missing, address counts disagreeing with the active
+    /// mask, content after the final block.
+    Structure {
+        /// 1-based input line.
+        line: u64,
+        /// What invariant was violated.
+        detail: String,
+    },
+    /// A bounded-memory decode limit was exceeded (line length, warp
+    /// count, instructions per warp, total instructions).
+    Limit {
+        /// 1-based input line.
+        line: u64,
+        /// Which limit, and the offending value.
+        detail: String,
+    },
+    /// The input ended mid-construct (truncated header, unterminated warp
+    /// block, missing warp blocks).
+    UnexpectedEof {
+        /// 1-based line at which input ended.
+        line: u64,
+        /// What the parser was still expecting.
+        detail: String,
+    },
+    /// A [`KernelProgram`](gpumem_simt::KernelProgram) cannot be expressed
+    /// in the trace format (encoder-side only).
+    Unencodable {
+        /// Why the program does not fit the format.
+        detail: String,
+    },
+}
+
+impl TraceError {
+    /// The 1-based input line the error points at, when it points at one.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            TraceError::Syntax { line, .. }
+            | TraceError::Structure { line, .. }
+            | TraceError::Limit { line, .. }
+            | TraceError::UnexpectedEof { line, .. } => Some(*line),
+            TraceError::Io { .. } | TraceError::Unencodable { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { detail } => write!(f, "trace I/O error: {detail}"),
+            TraceError::Syntax {
+                line,
+                column,
+                detail,
+            } => write!(
+                f,
+                "trace syntax error at line {line}, column {column}: {detail}"
+            ),
+            TraceError::Structure { line, detail } => {
+                write!(f, "malformed trace at line {line}: {detail}")
+            }
+            TraceError::Limit { line, detail } => {
+                write!(f, "trace limit exceeded at line {line}: {detail}")
+            }
+            TraceError::UnexpectedEof { line, detail } => {
+                write!(f, "unexpected end of trace at line {line}: {detail}")
+            }
+            TraceError::Unencodable { detail } => {
+                write!(f, "program not encodable as a trace: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_errors_name_their_line() {
+        let e = TraceError::Syntax {
+            line: 7,
+            column: 12,
+            detail: "expected lat=<N>".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("column 12"));
+        assert_eq!(e.line(), Some(7));
+
+        for e in [
+            TraceError::Structure {
+                line: 3,
+                detail: "x".into(),
+            },
+            TraceError::Limit {
+                line: 3,
+                detail: "x".into(),
+            },
+            TraceError::UnexpectedEof {
+                line: 3,
+                detail: "x".into(),
+            },
+        ] {
+            assert!(e.to_string().contains("line 3"), "{e}");
+            assert_eq!(e.line(), Some(3));
+        }
+        assert_eq!(
+            TraceError::Io { detail: "d".into() }.line(),
+            None,
+            "I/O errors have no input line"
+        );
+    }
+}

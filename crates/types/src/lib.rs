@@ -63,4 +63,4 @@ pub use latency::LatencyStats;
 pub use queue::{BoundedQueue, PushError, QueueStats, SimQueue};
 pub use rng::SimRng;
 pub use slab::{FetchArena, Slab, SlotId};
-pub use sweep::{fnv1a64, CellKey, SweepError};
+pub use sweep::{fnv1a64, CellKey, Fnv128, SweepError};

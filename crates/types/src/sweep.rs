@@ -34,6 +34,58 @@ fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Streaming 128-bit FNV-1a hasher: the incremental form of
+/// [`CellKey::from_canonical`], for content that arrives in chunks (trace
+/// files decoded from a reader, journal replays) where buffering the whole
+/// input just to digest it would defeat a bounded-memory decode.
+///
+/// Feeding the same bytes in any chunking produces the same key:
+///
+/// ```
+/// use gpumem_types::{CellKey, Fnv128};
+///
+/// let mut h = Fnv128::new();
+/// h.update(b"gpumem-");
+/// h.update(b"trace");
+/// assert_eq!(h.finish(), CellKey::from_canonical("gpumem-trace"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fnv128 {
+    /// Starts a digest at the two independent offset bases.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            hi: FNV_OFFSET_HI,
+            lo: FNV_OFFSET,
+        }
+    }
+
+    /// Absorbs a chunk.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.hi = fnv1a(self.hi, bytes);
+        self.lo = fnv1a(self.lo, bytes);
+    }
+
+    /// The digest of everything absorbed so far (the hasher remains
+    /// usable; finishing is a read, not a consume).
+    pub fn finish(&self) -> CellKey {
+        CellKey {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
 /// Stable 64-bit FNV-1a content digest (canonical offset basis).
 ///
 /// This is the workspace's standard checksum construction: the golden-trace
@@ -76,11 +128,9 @@ pub struct CellKey {
 impl CellKey {
     /// Digests a canonical cell description.
     pub fn from_canonical(canonical: &str) -> CellKey {
-        let bytes = canonical.as_bytes();
-        CellKey {
-            hi: fnv1a(FNV_OFFSET_HI, bytes),
-            lo: fnv1a(FNV_OFFSET, bytes),
-        }
+        let mut h = Fnv128::new();
+        h.update(canonical.as_bytes());
+        h.finish()
     }
 
     /// Parses the 32-hex-digit form produced by [`fmt::Display`].
@@ -190,6 +240,20 @@ mod tests {
         assert_eq!(CellKey::from_hex(&s), Some(k));
         assert_eq!(CellKey::from_hex("zz"), None);
         assert_eq!(CellKey::from_hex(&s[..31]), None);
+    }
+
+    #[test]
+    fn streaming_hasher_is_chunking_independent() {
+        let text = b"kernel name=gemm grid=12";
+        let mut whole = Fnv128::new();
+        whole.update(text);
+        for split in 0..text.len() {
+            let mut parts = Fnv128::new();
+            parts.update(&text[..split]);
+            parts.update(&text[split..]);
+            assert_eq!(parts.finish(), whole.finish(), "split at {split}");
+        }
+        assert_eq!(Fnv128::new().finish(), CellKey::from_canonical(""));
     }
 
     #[test]

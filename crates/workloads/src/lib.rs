@@ -25,10 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kind;
+mod ml;
 mod params;
 mod suite;
 mod synthetic;
 
+pub use kind::WorkloadKind;
+pub use ml::{attn, conv, gemm, ML_BENCHMARK_NAMES};
 pub use params::{AccessPattern, WorkloadParams};
-pub use suite::{benchmarks, by_name, params_of, BENCHMARK_NAMES};
+pub use suite::{benchmarks, by_name, extended_names, params_of, BENCHMARK_NAMES};
 pub use synthetic::SyntheticKernel;

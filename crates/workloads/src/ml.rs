@@ -1,0 +1,164 @@
+//! The ML kernel family: three synthetic generators modelling the memory
+//! behaviour of the dense-linear-algebra kernels that dominate modern ML
+//! inference and training.
+//!
+//! The paper's Rodinia/Parboil suite predates the deep-learning workload
+//! shift; these generators extend the characterization to the shapes that
+//! matter now, using the same [`WorkloadParams`] vocabulary so every
+//! existing experiment (Fig. 1, Table I, the DSE) runs over them
+//! unchanged:
+//!
+//! * [`gemm`] — a shared-memory-tiled dense GEMM (the double-buffered
+//!   `k`-loop of a cuBLAS-style SGEMM).
+//! * [`conv`] — an im2col convolution: overlapping sliding-window reads
+//!   whose halo reuse is caught by the L1.
+//! * [`attn`] — an attention-shaped streaming pass (QK^T then ·V): a hot
+//!   query tile against a long streaming K/V sequence.
+
+use crate::{AccessPattern, WorkloadParams};
+
+/// Names of the ML kernel family, in presentation order. Disjoint from
+/// [`BENCHMARK_NAMES`](crate::BENCHMARK_NAMES); [`params_of`](crate::params_of)
+/// resolves both.
+pub const ML_BENCHMARK_NAMES: [&str; 3] = ["gemm", "conv", "attn"];
+
+/// Tiled dense GEMM, `C = A·B`. Each iteration is one `k`-tile of the
+/// inner loop: two coalesced tile loads staged through shared memory, a
+/// burst of MACs reading the tile, and the double-buffer barrier. High
+/// arithmetic intensity, high reuse, barrier-synchronized — compute-bound
+/// on paper, so the interesting question is how much of its time the
+/// memory system still claims.
+pub fn gemm() -> WorkloadParams {
+    WorkloadParams {
+        name: "gemm".into(),
+        ctas: 64,
+        warps_per_cta: 8,
+        max_ctas_per_core: 2,
+        iters: 24,
+        alu_per_iter: 16,
+        alu_latency: 4,
+        shared_per_iter: 8,
+        shared_latency: 24,
+        loads_per_iter: 2,
+        stores_per_iter: 0,
+        lines_per_load_min: 1,
+        lines_per_load_max: 2,
+        consume_distance: 4,
+        pattern: AccessPattern::Strided { stride: 128 },
+        working_set_lines: 36_000,
+        l1_reuse_fraction: 0.50,
+        reuse_fraction: 0.45,
+        hot_lines: 2_048,
+        barrier_every: Some(1),
+        seed: 0x6E44,
+    }
+}
+
+/// im2col convolution: each iteration gathers an input patch whose rows
+/// overlap the previous patch (halo reuse in the L1), multiplies against
+/// a resident filter, and writes one output element. Sliding-window
+/// strides, moderate intensity, store traffic present but light.
+pub fn conv() -> WorkloadParams {
+    WorkloadParams {
+        name: "conv".into(),
+        ctas: 72,
+        warps_per_cta: 8,
+        max_ctas_per_core: 2,
+        iters: 20,
+        alu_per_iter: 14,
+        alu_latency: 4,
+        shared_per_iter: 0,
+        shared_latency: 24,
+        loads_per_iter: 3,
+        stores_per_iter: 1,
+        lines_per_load_min: 1,
+        lines_per_load_max: 2,
+        consume_distance: 2,
+        pattern: AccessPattern::Strided { stride: 56 },
+        working_set_lines: 80_000,
+        l1_reuse_fraction: 0.55,
+        reuse_fraction: 0.35,
+        hot_lines: 4_096,
+        barrier_every: None,
+        seed: 0xC04F,
+    }
+}
+
+/// Attention-shaped streaming pass: scores a hot query tile (strong reuse
+/// on a small set of lines) against a long streaming K/V sequence (large
+/// working set, no reuse), with a shared-memory softmax reduction and a
+/// periodic block barrier. Bandwidth-hungry like `nn`, but with a reuse
+/// island the caches can exploit.
+pub fn attn() -> WorkloadParams {
+    WorkloadParams {
+        name: "attn".into(),
+        ctas: 48,
+        warps_per_cta: 8,
+        max_ctas_per_core: 2,
+        iters: 28,
+        alu_per_iter: 10,
+        alu_latency: 4,
+        shared_per_iter: 2,
+        shared_latency: 24,
+        loads_per_iter: 3,
+        stores_per_iter: 1,
+        lines_per_load_min: 1,
+        lines_per_load_max: 2,
+        consume_distance: 2,
+        pattern: AccessPattern::Streaming,
+        working_set_lines: 200_000,
+        l1_reuse_fraction: 0.20,
+        reuse_fraction: 0.40,
+        hot_lines: 512,
+        barrier_every: Some(4),
+        seed: 0xA770,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params_of;
+
+    #[test]
+    fn ml_family_present_valid_and_tractable() {
+        for name in ML_BENCHMARK_NAMES {
+            let p = params_of(name).expect("ML name resolves");
+            assert_eq!(p.name, name);
+            p.validate();
+            let total = p.approx_total_instructions();
+            assert!(
+                (10_000..2_000_000).contains(&total),
+                "{name}: {total} instructions out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn ml_profiles_are_differentiated() {
+        let (gemm, conv, attn) = (gemm(), conv(), attn());
+        // GEMM is the compute- and reuse-heavy member: tiled through
+        // shared memory, barrier per tile.
+        assert!(gemm.shared_per_iter > 0);
+        assert_eq!(gemm.barrier_every, Some(1));
+        let intensity = |p: &WorkloadParams| {
+            f64::from(p.alu_per_iter + p.shared_per_iter)
+                / f64::from(p.loads_per_iter + p.stores_per_iter)
+        };
+        assert!(intensity(&gemm) > 2.0 * intensity(&attn));
+        // Conv leans on L1 halo reuse more than either other member.
+        assert!(conv.l1_reuse_fraction > gemm.l1_reuse_fraction);
+        assert!(conv.l1_reuse_fraction > attn.l1_reuse_fraction);
+        // Attention streams the largest working set with a small hot tile.
+        assert!(attn.working_set_lines > conv.working_set_lines);
+        assert!(attn.working_set_lines > gemm.working_set_lines);
+        assert!(attn.hot_lines < gemm.hot_lines);
+    }
+
+    #[test]
+    fn ml_names_do_not_collide_with_the_paper_suite() {
+        for name in ML_BENCHMARK_NAMES {
+            assert!(!crate::BENCHMARK_NAMES.contains(&name));
+        }
+    }
+}

@@ -243,7 +243,8 @@ fn ss() -> WorkloadParams {
     }
 }
 
-/// Parameters for one benchmark by name.
+/// Parameters for one benchmark by name — the paper's eight plus the ML
+/// kernel family ([`crate::ML_BENCHMARK_NAMES`]).
 pub fn params_of(name: &str) -> Option<WorkloadParams> {
     match name {
         "cfd" => Some(cfd()),
@@ -254,6 +255,9 @@ pub fn params_of(name: &str) -> Option<WorkloadParams> {
         "sc" => Some(sc()),
         "lbm" => Some(lbm()),
         "ss" => Some(ss()),
+        "gemm" => Some(crate::ml::gemm()),
+        "conv" => Some(crate::ml::conv()),
+        "attn" => Some(crate::ml::attn()),
         _ => None,
     }
 }
@@ -263,6 +267,15 @@ pub fn benchmarks() -> Vec<Arc<dyn KernelProgram>> {
     BENCHMARK_NAMES
         .iter()
         .map(|n| by_name(n).expect("name from the canonical list"))
+        .collect()
+}
+
+/// Every benchmark name: the paper's eight followed by the ML family.
+pub fn extended_names() -> Vec<&'static str> {
+    BENCHMARK_NAMES
+        .iter()
+        .chain(crate::ML_BENCHMARK_NAMES.iter())
+        .copied()
         .collect()
 }
 

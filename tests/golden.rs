@@ -22,10 +22,11 @@ use gpumem::DEFAULT_MAX_CYCLES;
 use gpumem_sim::{KernelProgram, TraceConfig};
 use gpumem_workloads::{params_of, SyntheticKernel};
 
-/// The fixed seed set: three benchmarks spanning the paper's spectrum
-/// (cache-sensitive, streaming, balanced). Kept small so the suite runs
+/// The fixed seed set: three paper benchmarks spanning the spectrum
+/// (cache-sensitive, streaming, balanced) plus the three ML kernels
+/// (tiled GEMM, im2col conv, attention). Kept small so the suite runs
 /// from a clean checkout in seconds.
-const GOLDEN_BENCHMARKS: &[&str] = &["sc", "lbm", "ss"];
+const GOLDEN_BENCHMARKS: &[&str] = &["sc", "lbm", "ss", "gemm", "conv", "attn"];
 
 fn small_gpu() -> GpuConfig {
     let mut cfg = GpuConfig::gtx480();
